@@ -1,0 +1,247 @@
+// Benchmarks regenerating every table and figure of the reconstructed
+// evaluation (DESIGN.md §4): one Benchmark per experiment, running the
+// experiment at reduced scale per iteration, plus micro-benchmarks of the
+// hot paths underneath them. `go test -bench=. -benchmem` regenerates the
+// whole suite; `cmd/cpbench` prints the full-scale tables.
+package crowdplanner_test
+
+import (
+	"testing"
+
+	"crowdplanner"
+	"crowdplanner/internal/experiments"
+	"crowdplanner/internal/landmark"
+	"crowdplanner/internal/popular"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/task"
+	"crowdplanner/internal/worker"
+)
+
+// ---- one benchmark per reconstructed table/figure ----
+
+func BenchmarkE1Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E1Accuracy(6)
+	}
+}
+
+func BenchmarkE2Questions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2Questions(5)
+	}
+}
+
+func BenchmarkE3Selection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E3Selection(1)
+	}
+}
+
+func BenchmarkE4Workers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E4Workers(8)
+	}
+}
+
+func BenchmarkE5PMF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E5PMF()
+	}
+}
+
+func BenchmarkE6EarlyStop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E6EarlyStop(8)
+	}
+}
+
+func BenchmarkE7Truth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7Truth(40)
+	}
+}
+
+func BenchmarkE8Response(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E8Response(8)
+	}
+}
+
+func BenchmarkE9Binary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E9Binary(3)
+	}
+}
+
+func BenchmarkE10Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E10Scale(3)
+	}
+}
+
+func BenchmarkAblationVoting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationVoting(8)
+	}
+}
+
+func BenchmarkAblationPMF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPMF(8)
+	}
+}
+
+func BenchmarkAblationOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationOrdering(8)
+	}
+}
+
+// ---- micro-benchmarks of the hot paths ----
+
+var benchScn = struct {
+	scn  *crowdplanner.Scenario
+	init bool
+}{}
+
+func scenario(b *testing.B) *crowdplanner.Scenario {
+	b.Helper()
+	if !benchScn.init {
+		benchScn.scn = crowdplanner.BuildScenario(crowdplanner.SmallScenarioConfig())
+		benchScn.init = true
+	}
+	return benchScn.scn
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	scn := scenario(b)
+	n := roadnet.NodeID(scn.Graph.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.NodeID(i) % n
+		dst := (src + n/2) % n
+		_, _, _ = routing.ShortestPath(scn.Graph, src, dst, routing.TravelTimeCost, routing.At(0, 8, 0))
+	}
+}
+
+func BenchmarkKShortest(b *testing.B) {
+	scn := scenario(b)
+	n := roadnet.NodeID(scn.Graph.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.NodeID(i) % n
+		dst := (src + n/2) % n
+		_, _, _ = routing.KShortest(scn.Graph, src, dst, 4, routing.DistanceCost, 0)
+	}
+}
+
+func BenchmarkMineMFP(b *testing.B) {
+	scn := scenario(b)
+	trip := scn.Data.Trips[0]
+	m := popular.NewMFP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = m.Mine(scn.Data, trip.Route.Source(), trip.Route.Dest(), trip.Depart)
+	}
+}
+
+func BenchmarkMineMPR(b *testing.B) {
+	scn := scenario(b)
+	trip := scn.Data.Trips[0]
+	m := popular.NewMPR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = m.Mine(scn.Data, trip.Route.Source(), trip.Route.Dest(), trip.Depart)
+	}
+}
+
+func BenchmarkTaskGenerate(b *testing.B) {
+	scn := scenario(b)
+	trip := scn.Data.Trips[0]
+	req := crowdplanner.Request{From: trip.Route.Source(), To: trip.Route.Dest(), Depart: trip.Depart}
+	cands := task.MergeIndistinguishable(scn.System.Candidates(req))
+	if len(cands) < 2 {
+		b.Skip("candidates agree for this OD")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = task.Generate(int64(i), scn.Landmarks, cands, task.DefaultConfig())
+	}
+}
+
+func BenchmarkTopKEligible(b *testing.B) {
+	scn := scenario(b)
+	var ids []landmark.ID
+	for _, l := range scn.Landmarks.TopBySignificance(4) {
+		ids = append(ids, l.ID)
+	}
+	mstar := scn.System.Familiarity()
+	cfg := scn.System.Config().Select
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = worker.TopKEligible(scn.Pool, mstar, ids, 7, cfg)
+	}
+}
+
+func BenchmarkPMFFit(b *testing.B) {
+	m := worker.NewMatrix(100, 150)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 150; j++ {
+			if (i*31+j*17)%11 == 0 {
+				m.Set(i, j, float64((i+j)%5)*0.3+0.2)
+			}
+		}
+	}
+	cfg := worker.DefaultPMFConfig()
+	cfg.Iters = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = worker.FitPMF(m, cfg)
+	}
+}
+
+func BenchmarkRecommendEndToEnd(b *testing.B) {
+	// Steady state: truths accumulate, so repeats hit the reuse path.
+	scn := scenario(b)
+	trips := scn.Data.Trips
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trips[i%len(trips)]
+		if tr.Route.Empty() {
+			continue
+		}
+		_, _ = scn.System.Recommend(crowdplanner.Request{
+			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
+		})
+	}
+}
+
+func BenchmarkRecommendColdEndToEnd(b *testing.B) {
+	// Cold path: truth reuse disabled, every request runs the full
+	// candidate generation + evaluation (+ possibly crowd) pipeline.
+	scn := scenario(b)
+	cfg := scn.System.Config()
+	cfg.ReuseTruth = false
+	sys := crowdplanner.NewSystem(cfg, scn.Graph, scn.Landmarks, scn.Data, scn.Pool,
+		&populationOracle{scn})
+	trips := scn.Data.Trips
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trips[i%len(trips)]
+		if tr.Route.Empty() {
+			continue
+		}
+		_, _ = sys.Recommend(crowdplanner.Request{
+			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
+		})
+	}
+}
+
+// populationOracle adapts the scenario's dataset as the crowd's knowledge
+// for the cold benchmark.
+type populationOracle struct{ scn *crowdplanner.Scenario }
+
+func (o *populationOracle) BestRoute(from, to roadnet.NodeID, t routing.SimTime) (roadnet.Route, error) {
+	return o.scn.Data.GroundTruth(from, to, t, 40)
+}

@@ -1,0 +1,46 @@
+// Command cpbench regenerates the tables and figures of the reconstructed
+// evaluation (DESIGN.md §4, EXPERIMENTS.md).
+//
+// Usage:
+//
+//	cpbench -exp all            # every experiment at full scale
+//	cpbench -exp E1,E4 -scale 0.5
+//	cpbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdplanner/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md scale)")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+	var ids []string
+	if *exp != "all" && *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if err := experiments.RunAll(os.Stdout, ids, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "cpbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+// Command cpserver builds a synthetic scenario and serves the CrowdPlanner
+// HTTP API on it.
+//
+// Usage:
+//
+//	cpserver -addr :8080 -size small
+//
+// Then:
+//
+//	curl -s localhost:8080/api/health
+//	curl -s -X POST localhost:8080/api/recommend \
+//	     -d '{"from":3,"to":317,"depart_min":510}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		size = flag.String("size", "default", "scenario size: small or default")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultScenarioConfig()
+	if *size == "small" {
+		cfg = core.SmallScenarioConfig()
+	}
+	log.Printf("building %s scenario...", *size)
+	scn := core.BuildScenario(cfg)
+	log.Printf("city: %d nodes, %d edges; %d landmarks; %d trips; %d workers",
+		scn.Graph.NumNodes(), scn.Graph.NumEdges(),
+		scn.Landmarks.Len(), len(scn.Data.Trips), scn.Pool.Len())
+
+	srv := server.New(scn.System)
+	log.Printf("serving CrowdPlanner API on %s", *addr)
+	fmt.Printf("try: curl -s -X POST localhost%s/api/recommend -d '{\"from\":%d,\"to\":%d,\"depart_min\":510}'\n",
+		*addr, scn.Data.Trips[0].Route.Source(), scn.Data.Trips[0].Route.Dest())
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,91 @@
+// Package crowdplanner is the public API of the CrowdPlanner reproduction —
+// a crowd-based route recommendation system after Su, "CrowdPlanner: A
+// Crowd-Based Route Recommendation System" (ICDE 2014, arXiv:1309.2687).
+//
+// CrowdPlanner consolidates candidate routes from web-service-style routing
+// and popular-route mining (MPR, LDR, MFP) and, when the candidates
+// disagree, generates a crowdsourcing task — a short sequence of binary
+// landmark questions — assigns it to the most eligible workers, and returns
+// the route the crowd certifies. Verified answers are stored as truths and
+// reused.
+//
+// Quick start:
+//
+//	scn := crowdplanner.BuildScenario(crowdplanner.DefaultScenarioConfig())
+//	resp, err := scn.System.Recommend(crowdplanner.Request{
+//		From: 3, To: 317, Depart: crowdplanner.At(0, 8, 30),
+//	})
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package crowdplanner
+
+import (
+	"net/http"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/server"
+)
+
+// Core request/response types, re-exported from the system core.
+type (
+	// System is a fully assembled CrowdPlanner instance.
+	System = core.System
+	// Config holds every system knob; start from DefaultConfig.
+	Config = core.Config
+	// Request is a route recommendation request.
+	Request = core.Request
+	// Response reports the recommended route and how it was resolved.
+	Response = core.Response
+	// Stage identifies which component resolved a request.
+	Stage = core.Stage
+	// Scenario is a generated synthetic world plus its system.
+	Scenario = core.Scenario
+	// ScenarioConfig bundles all substrate generation knobs.
+	ScenarioConfig = core.ScenarioConfig
+	// Oracle supplies the simulated ground-truth best route.
+	Oracle = core.Oracle
+
+	// NodeID identifies a road intersection.
+	NodeID = roadnet.NodeID
+	// Route is a path through the road network.
+	Route = roadnet.Route
+	// SimTime is a simulated departure time (minutes since Monday 00:00).
+	SimTime = routing.SimTime
+)
+
+// Resolution stages, in the order the control logic tries them.
+const (
+	StageReuse      = core.StageReuse
+	StageAgreement  = core.StageAgreement
+	StageConfidence = core.StageConfidence
+	StageCrowd      = core.StageCrowd
+	StageFallback   = core.StageFallback
+)
+
+// DefaultConfig returns the standard system configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultScenarioConfig describes the mid-size synthetic world used by the
+// examples (400-intersection city, 300 drivers, 300 workers).
+func DefaultScenarioConfig() ScenarioConfig { return core.DefaultScenarioConfig() }
+
+// SmallScenarioConfig shrinks the world for fast experimentation.
+func SmallScenarioConfig() ScenarioConfig { return core.SmallScenarioConfig() }
+
+// BuildScenario deterministically generates a synthetic world (city,
+// drivers, trajectories, landmarks, check-ins, workers) and assembles the
+// system on top of it.
+func BuildScenario(cfg ScenarioConfig) *Scenario { return core.BuildScenario(cfg) }
+
+// NewSystem assembles a system over externally built substrates; most users
+// want BuildScenario instead.
+var NewSystem = core.New
+
+// At constructs a SimTime from a day of week (0 = Monday) and a 24h clock.
+func At(day, hour, minute int) SimTime { return routing.At(day, hour, minute) }
+
+// NewHTTPHandler exposes a system over HTTP (see internal/server for the
+// endpoint catalogue).
+func NewHTTPHandler(sys *System) http.Handler { return server.New(sys).Handler() }

@@ -1,0 +1,68 @@
+// Commute: the paper's motivating scenario. The web service's shortest and
+// fastest routes disagree with what experienced drivers actually do, and the
+// disagreement changes between morning and evening rush. CrowdPlanner
+// resolves each case and we compare everyone against the population ground
+// truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdplanner"
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/popular"
+	"crowdplanner/internal/routing"
+)
+
+func main() {
+	scn := crowdplanner.BuildScenario(crowdplanner.DefaultScenarioConfig())
+	g := scn.Graph
+
+	// A well-supported commuter OD pair from the corpus.
+	trip := scn.Data.Trips[0]
+	from, to := trip.Route.Source(), trip.Route.Dest()
+
+	for _, slot := range []struct {
+		name   string
+		depart crowdplanner.SimTime
+	}{
+		{"morning rush (Mon 08:00)", crowdplanner.At(0, 8, 0)},
+		{"evening rush (Mon 17:30)", crowdplanner.At(0, 17, 30)},
+	} {
+		fmt.Printf("=== %s ===\n", slot.name)
+		truth, err := scn.Data.GroundTruth(from, to, slot.depart, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		shortest, _, _ := routing.ShortestPath(g, from, to, routing.DistanceCost, slot.depart)
+		fastest, _, _ := routing.ShortestPath(g, from, to, routing.TravelTimeCost, slot.depart)
+		fmt.Printf("  %-14s %5.1f km  %5.1f min  similarity to drivers' choice %.2f\n",
+			"ws-shortest", shortest.Length(g)/1000,
+			routing.TravelMinutes(g, shortest, slot.depart), shortest.Similarity(truth))
+		fmt.Printf("  %-14s %5.1f km  %5.1f min  similarity to drivers' choice %.2f\n",
+			"ws-fastest", fastest.Length(g)/1000,
+			routing.TravelMinutes(g, fastest, slot.depart), fastest.Similarity(truth))
+
+		for _, m := range []popular.Miner{popular.NewMPR(), popular.NewLDR(), popular.NewMFP()} {
+			r, _, err := m.Mine(scn.Data, from, to, slot.depart)
+			if err != nil {
+				fmt.Printf("  %-14s (not enough data: %v)\n", m.Name(), err)
+				continue
+			}
+			fmt.Printf("  %-14s %5.1f km  %5.1f min  similarity to drivers' choice %.2f\n",
+				m.Name(), r.Length(g)/1000,
+				routing.TravelMinutes(g, r, slot.depart), r.Similarity(truth))
+		}
+
+		resp, err := scn.System.Recommend(core.Request{From: from, To: to, Depart: slot.depart})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %5.1f km  %5.1f min  similarity to drivers' choice %.2f  (stage: %s)\n\n",
+			"CrowdPlanner", resp.Route.Length(g)/1000,
+			routing.TravelMinutes(g, resp.Route, slot.depart),
+			resp.Route.Similarity(truth), resp.Stage)
+	}
+}

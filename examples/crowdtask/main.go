@@ -1,0 +1,83 @@
+// Crowdtask: a look inside the CR module. Builds a task whose candidate
+// routes disagree, prints the selected discriminative landmarks, walks the
+// ID3 question tree, and shows which workers the rated-voting selection
+// picks and why.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"crowdplanner"
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/task"
+	"crowdplanner/internal/worker"
+)
+
+func main() {
+	scn := crowdplanner.BuildScenario(crowdplanner.SmallScenarioConfig())
+	sys := scn.System
+
+	// Find a request whose candidates genuinely disagree.
+	var cands []task.Candidate
+	var chosen core.Request
+	for _, trip := range scn.Data.Trips {
+		if trip.Route.Empty() {
+			continue
+		}
+		req := core.Request{From: trip.Route.Source(), To: trip.Route.Dest(), Depart: trip.Depart}
+		cs := task.MergeIndistinguishable(sys.Candidates(req))
+		if len(cs) >= 3 {
+			cands, chosen = cs, req
+			break
+		}
+	}
+	if cands == nil {
+		log.Fatal("no disagreeing candidate set found")
+	}
+
+	fmt.Printf("request: %d → %d at %v\n", chosen.From, chosen.To, chosen.Depart)
+	fmt.Printf("candidates (%d):\n", len(cands))
+	for i, c := range cands {
+		fmt.Printf("  [%d] %-20s %.1f km, passes %d landmarks\n",
+			i, c.Source, c.Route.Length(scn.Graph)/1000, len(c.LRoute.Landmarks))
+	}
+
+	tk, err := task.Generate(1, scn.Landmarks, cands, task.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected question landmarks (objective %.3f — mean significance):\n", tk.Objective)
+	for _, q := range tk.Questions {
+		l := scn.Landmarks.Get(q)
+		fmt.Printf("  %-16s significance %.3f\n", l.Name, l.Significance)
+	}
+	fmt.Printf("expected questions: %.2f of %d (worst case %d)\n",
+		tk.ExpectedQuestions(), len(tk.Questions), tk.MaxQuestions())
+
+	fmt.Println("\nID3 question tree:")
+	printTree(scn, tk.Tree, 0)
+
+	fmt.Println("\ntop-5 eligible workers (rated voting):")
+	ranked := worker.TopKEligible(scn.Pool, sys.Familiarity(), tk.Questions, 5, sys.Config().Select)
+	for _, r := range ranked {
+		cov := worker.Coverage(sys.Familiarity(), int(r.Worker.ID), tk.Questions)
+		fmt.Printf("  worker %-4d score %.2f  knows %2.0f%% of the question landmarks  (λ=%.3f/min)\n",
+			r.Worker.ID, r.Score, cov*100, r.Worker.Lambda)
+	}
+}
+
+func printTree(scn *crowdplanner.Scenario, n *task.TreeNode, depth int) {
+	indent := strings.Repeat("  ", depth+1)
+	if n.IsLeaf() {
+		fmt.Printf("%s→ candidate %d\n", indent, n.Leaf())
+		return
+	}
+	l := scn.Landmarks.Get(n.Landmark)
+	fmt.Printf("%sQ: does the best route pass %s? (sig %.2f)\n", indent, l.Name, l.Significance)
+	fmt.Printf("%s yes:\n", indent)
+	printTree(scn, n.Yes, depth+1)
+	fmt.Printf("%s no:\n", indent)
+	printTree(scn, n.No, depth+1)
+}

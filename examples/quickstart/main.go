@@ -1,0 +1,55 @@
+// Quickstart: build a synthetic city, ask CrowdPlanner for a route, and
+// print how the request was resolved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdplanner"
+)
+
+func main() {
+	// A small deterministic world: 100-intersection city, 80 drivers,
+	// simulated check-ins and a 120-worker crowd.
+	scn := crowdplanner.BuildScenario(crowdplanner.SmallScenarioConfig())
+	sys := scn.System
+	fmt.Printf("city: %d intersections, %d road segments\n",
+		scn.Graph.NumNodes(), scn.Graph.NumEdges())
+	fmt.Printf("corpus: %d historical trips, %d landmarks, %d workers\n\n",
+		len(scn.Data.Trips), scn.Landmarks.Len(), scn.Pool.Len())
+
+	// Ask for a route between a well-travelled OD pair on Tuesday 08:30.
+	trip := scn.Data.Trips[0]
+	req := crowdplanner.Request{
+		From:   trip.Route.Source(),
+		To:     trip.Route.Dest(),
+		Depart: crowdplanner.At(1, 8, 30),
+	}
+	resp, err := sys.Recommend(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("request: node %d → node %d departing Tue 08:30\n", req.From, req.To)
+	fmt.Printf("resolved by: %s (confidence %.2f)\n", resp.Stage, resp.Confidence)
+	fmt.Printf("route: %d intersections, %.1f km\n",
+		len(resp.Route.Nodes), resp.Route.Length(scn.Graph)/1000)
+	if len(resp.Candidates) > 0 {
+		fmt.Println("\ncandidates considered:")
+		for _, c := range resp.Candidates {
+			fmt.Printf("  %-22s %5.1f km\n", c.Source, c.Route.Length(scn.Graph)/1000)
+		}
+	}
+	if resp.Task != nil {
+		fmt.Printf("\ncrowd task: %d question landmarks, expected %.1f questions\n",
+			len(resp.Task.Questions), resp.Task.ExpectedQuestions())
+	}
+
+	// Ask again: the verified answer is reused without any computation.
+	resp2, err := sys.Recommend(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame request again → resolved by: %s (the truth database remembers)\n", resp2.Stage)
+}

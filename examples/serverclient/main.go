@@ -1,0 +1,71 @@
+// Serverclient: runs the CrowdPlanner HTTP server in-process and exercises
+// it as a client would — health check, a recommendation request, and the
+// truth listing — demonstrating the two-layer architecture of the paper.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"crowdplanner"
+)
+
+func main() {
+	scn := crowdplanner.BuildScenario(crowdplanner.SmallScenarioConfig())
+	srv := httptest.NewServer(crowdplanner.NewHTTPHandler(scn.System))
+	defer srv.Close()
+	fmt.Printf("server listening on %s\n\n", srv.URL)
+
+	get := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+
+	fmt.Println("GET /api/health")
+	fmt.Printf("  %s\n", get("/api/health"))
+
+	trip := scn.Data.Trips[0]
+	reqBody, _ := json.Marshal(map[string]any{
+		"from":       trip.Route.Source(),
+		"to":         trip.Route.Dest(),
+		"depart_min": float64(crowdplanner.At(1, 8, 30)),
+	})
+	fmt.Println("\nPOST /api/recommend")
+	fmt.Printf("  body: %s\n", reqBody)
+	resp, err := http.Post(srv.URL+"/api/recommend", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec struct {
+		Stage      string  `json:"stage"`
+		Confidence float64 `json:"confidence"`
+		LengthM    float64 `json:"length_m"`
+		TravelMin  float64 `json:"travel_min"`
+		Route      []int32 `json:"route"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("  stage=%s confidence=%.2f length=%.1fkm travel=%.1fmin route has %d nodes\n",
+		rec.Stage, rec.Confidence, rec.LengthM/1000, rec.TravelMin, len(rec.Route))
+
+	fmt.Println("\nGET /api/landmarks?top=5")
+	fmt.Printf("  %s\n", get("/api/landmarks?top=5"))
+
+	fmt.Println("\nGET /api/truths")
+	fmt.Printf("  %s\n", get("/api/truths"))
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdplanner/internal/crowd"
+	"crowdplanner/internal/landmark"
+	roadnetpkg "crowdplanner/internal/roadnet"
+	"crowdplanner/internal/task"
+	"crowdplanner/internal/worker"
+)
+
+// The asynchronous task lifecycle implements the paper's actual deployment
+// protocol: the server publishes a task, the assigned workers' mobile
+// clients fetch the current question and submit answers, and the early-stop
+// component resolves each question — and eventually the task — as answers
+// arrive. RecommendAsync replaces the simulated synchronous crowd of
+// Recommend with this open-loop protocol.
+
+// TaskState is the lifecycle state of a pending crowd task.
+type TaskState int
+
+// Task lifecycle states.
+const (
+	// TaskOpen: questions remain; answers are being collected.
+	TaskOpen TaskState = iota
+	// TaskResolved: a route has been determined and stored as truth.
+	TaskResolved
+	// TaskExpired: the deadline passed; the provider consensus was used.
+	TaskExpired
+)
+
+// String implements fmt.Stringer.
+func (s TaskState) String() string {
+	switch s {
+	case TaskOpen:
+		return "open"
+	case TaskResolved:
+		return "resolved"
+	case TaskExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// PendingTask is a crowd task awaiting worker answers.
+type PendingTask struct {
+	ID       int64
+	Req      Request
+	Task     *task.Task
+	Assigned []worker.Ranked
+	State    TaskState
+	Result   *Response // non-nil once resolved or expired
+
+	node     *task.TreeNode // current position in the question tree
+	answers  []crowd.Answer // answers to the current question
+	answered map[worker.ID]bool
+	// stats
+	questionsUsed int
+	answersUsed   int
+}
+
+// CurrentQuestion returns the landmark currently being asked; ok is false
+// once the task is no longer open.
+func (p *PendingTask) CurrentQuestion() (landmark.ID, bool) {
+	if p.State != TaskOpen || p.node == nil || p.node.IsLeaf() {
+		return 0, false
+	}
+	return p.node.Landmark, true
+}
+
+// IsAssigned reports whether the worker is assigned to this task.
+func (p *PendingTask) IsAssigned(w worker.ID) bool {
+	for _, r := range p.Assigned {
+		if r.Worker.ID == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Async errors.
+var (
+	ErrUnknownTask   = errors.New("core: unknown task id")
+	ErrTaskClosed    = errors.New("core: task is no longer open")
+	ErrNotAssigned   = errors.New("core: worker is not assigned to this task")
+	ErrAlreadyAnswer = errors.New("core: worker already answered the current question")
+)
+
+// RecommendAsync processes a request like Recommend, but when the crowd is
+// needed it publishes a PendingTask instead of simulating the answers: the
+// returned Response is nil and the ticket must be driven to resolution with
+// SubmitAnswer. When the TR module resolves the request, the Response is
+// returned directly with a nil ticket.
+func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
+	resp, cands, err := s.resolveTraditional(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp != nil {
+		return resp, nil, nil
+	}
+
+	merged := task.MergeIndistinguishable(cands)
+	if len(merged) == 1 {
+		s.storeTruth(req, merged[0].Route, 0.5, false)
+		return &Response{Route: merged[0].Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands}, nil, nil
+	}
+
+	s.mu.Lock()
+	s.nextTaskID++
+	id := s.nextTaskID
+	mstar := s.mstar
+	s.mu.Unlock()
+
+	tk, err := task.Generate(id, s.landmarks, merged, s.cfg.Task)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: generating task: %w", err)
+	}
+	selCfg := s.cfg.Select
+	if req.DeadlineMin > 0 {
+		selCfg.DeadlineMinutes = req.DeadlineMin
+	}
+	assigned := worker.TopKEligible(s.pool, mstar, tk.Questions, s.cfg.WorkersPerTask, selCfg)
+	if len(assigned) == 0 {
+		best := bestByConsensus(merged)
+		s.storeTruth(req, best.Route, 0.5, false)
+		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil, nil
+	}
+
+	p := &PendingTask{
+		ID: id, Req: req, Task: tk, Assigned: assigned,
+		State: TaskOpen, node: tk.Tree,
+		answered: make(map[worker.ID]bool),
+	}
+	// A degenerate tree (single candidate after merge handled above, but a
+	// defensive leaf root) resolves immediately.
+	if p.node == nil || p.node.IsLeaf() {
+		s.finishPending(p, TaskResolved, 1)
+		return p.Result, nil, nil
+	}
+
+	s.mu.Lock()
+	if s.pending == nil {
+		s.pending = make(map[int64]*PendingTask)
+	}
+	s.pending[id] = p
+	for _, r := range assigned {
+		r.Worker.Outstanding++
+	}
+	s.mu.Unlock()
+	return nil, p, nil
+}
+
+// resolveTraditional runs stages 1–4 of the pipeline. It returns a non-nil
+// Response when the TR module answered; otherwise the candidate set for the
+// crowd, with priors filled in.
+func (s *System) resolveTraditional(req Request) (*Response, []task.Candidate, error) {
+	n := roadnetpkg.NodeID(s.graph.NumNodes())
+	if req.From < 0 || req.From >= n || req.To < 0 || req.To >= n || req.From == req.To {
+		return nil, nil, fmt.Errorf("%w: from=%d to=%d", ErrBadRequest, req.From, req.To)
+	}
+	if s.cfg.ReuseTruth {
+		if e, ok := s.truth.Lookup(req.From, req.To, req.Depart); ok {
+			return &Response{Route: e.Route, Stage: StageReuse, Confidence: e.Confidence}, nil, nil
+		}
+	}
+	cands := s.generateCandidates(req)
+	if len(cands) == 0 {
+		return nil, nil, ErrNoCandidates
+	}
+	if best, sim, ok := s.agreement(cands); ok {
+		s.storeTruth(req, best.Route, sim, false)
+		s.reliance.record(cands, best.Route)
+		return &Response{Route: best.Route, Stage: StageAgreement, Confidence: sim, Candidates: cands}, nil, nil
+	}
+	bestIdx, bestConf := -1, 0.0
+	for i := range cands {
+		c := s.truth.Confidence(s.graph, cands[i].Route, req.Depart, s.cfg.TruthRadius, s.cfg.TruthSlotTol)
+		cands[i].Prior = c
+		if c > bestConf {
+			bestConf, bestIdx = c, i
+		}
+	}
+	if bestIdx >= 0 && bestConf >= s.cfg.EtaConfidence {
+		s.storeTruth(req, cands[bestIdx].Route, bestConf, false)
+		s.reliance.record(cands, cands[bestIdx].Route)
+		return &Response{
+			Route: cands[bestIdx].Route, Stage: StageConfidence,
+			Confidence: bestConf, Candidates: cands,
+		}, nil, nil
+	}
+	// The crowd will decide; optionally fold each source's historical
+	// precision into the priors (future work §VI) so reliable providers
+	// start ahead in the question tree and the consensus fallback.
+	if s.cfg.UseSourceReliability {
+		for i := range cands {
+			cands[i].Prior += s.reliance.precision(cands[i].Source)
+		}
+	}
+	return nil, cands, nil
+}
+
+// SourceStats returns the per-provider precision scoreboard (the future-
+// work quality-control extension). Sources are credited whenever a request
+// resolves with a verified route: proposals matching the verdict win.
+func (s *System) SourceStats() []SourceStats {
+	return s.reliance.snapshot()
+}
+
+// PendingTasks returns the open tasks a worker is assigned to.
+func (s *System) PendingTasks(w worker.ID) []*PendingTask {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*PendingTask
+	for _, p := range s.pending {
+		if p.State == TaskOpen && p.IsAssigned(w) && !p.answered[w] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PendingTask returns the task with the given ID (open or closed).
+func (s *System) PendingTask(id int64) (*PendingTask, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pending[id]
+	return p, ok
+}
+
+// SubmitAnswer records worker w's answer to the current question of task
+// id. When the answer completes the question (early-stop confidence reached
+// or every assigned worker answered), the task advances down the tree; on
+// reaching a leaf the task resolves, the winner is stored as truth, workers
+// are rewarded, and the final Response is returned. Until then the returned
+// Response is nil.
+func (s *System) SubmitAnswer(id int64, w worker.ID, yes bool) (*Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pending[id]
+	if !ok {
+		return nil, ErrUnknownTask
+	}
+	if p.State != TaskOpen {
+		return nil, ErrTaskClosed
+	}
+	if !p.IsAssigned(w) {
+		return nil, ErrNotAssigned
+	}
+	if p.answered[w] {
+		return nil, ErrAlreadyAnswer
+	}
+	lm := p.node.Landmark
+	est := s.cfg.Answers.Accuracy(s.famEstimate(int(w), lm))
+	p.answered[w] = true
+	p.answers = append(p.answers, crowd.Answer{Worker: w, Yes: yes, EstAcc: est})
+
+	decided, goYes := s.questionDecided(p)
+	if !decided {
+		return nil, nil
+	}
+	s.advancePending(p, goYes)
+	if p.State == TaskResolved {
+		return p.Result, nil
+	}
+	return nil, nil
+}
+
+// famEstimate looks up the system's estimated familiarity (caller holds mu).
+func (s *System) famEstimate(workerIdx int, l landmark.ID) float64 {
+	if v, ok := s.mstar.Get(workerIdx, int(l)); ok {
+		return v
+	}
+	return 0
+}
+
+// questionDecided checks whether the current question can be closed: the
+// early-stop posterior is confident, or every assigned worker has answered.
+// Caller holds mu.
+func (s *System) questionDecided(p *PendingTask) (decided, yes bool) {
+	yesVote, conf, _ := crowd.Aggregate(p.answers, s.cfg.EarlyStop)
+	threshold := s.cfg.EarlyStop
+	if threshold <= 0.5 {
+		threshold = 1.01 // early stop disabled: wait for everyone
+	}
+	if conf >= threshold {
+		return true, yesVote
+	}
+	if len(p.answers) >= len(p.Assigned) {
+		return true, yesVote
+	}
+	return false, false
+}
+
+// advancePending closes the current question, rewards its answers, and
+// descends the tree; resolves the task at a leaf. Caller holds mu.
+func (s *System) advancePending(p *PendingTask, yes bool) {
+	lm := p.node.Landmark
+	// Reward by participation; correctness is judged against the decided
+	// outcome (majority), the usual proxy when no oracle exists.
+	for i := range p.answers {
+		p.answers[i].Correct = p.answers[i].Yes == yes
+	}
+	crowd.Reward(s.pool, lm, p.answers, len(p.answers), s.cfg.Rewards)
+	p.questionsUsed++
+	p.answersUsed += len(p.answers)
+	p.answers = nil
+	p.answered = make(map[worker.ID]bool)
+
+	if yes {
+		p.node = p.node.Yes
+	} else {
+		p.node = p.node.No
+	}
+	if p.node == nil || p.node.IsLeaf() {
+		s.finishPending(p, TaskResolved, 0)
+	}
+}
+
+// finishPending finalizes a pending task. Caller holds mu (or the task is
+// not yet registered). confOverride > 0 forces a confidence value.
+func (s *System) finishPending(p *PendingTask, state TaskState, confOverride float64) {
+	var winner task.Candidate
+	conf := confOverride
+	switch {
+	case state == TaskResolved && p.node != nil:
+		winner = p.Task.Candidates[p.node.Leaf()]
+		if conf <= 0 {
+			conf = 0.9 // the per-question early-stop threshold bounds this
+		}
+	default:
+		winner = bestByConsensus(p.Task.Candidates)
+		if conf <= 0 {
+			conf = 0.5
+		}
+	}
+	stage := StageCrowd
+	if state == TaskExpired {
+		stage = StageFallback
+	}
+	s.storeTruth(p.Req, winner.Route, conf, state == TaskResolved)
+	if state == TaskResolved {
+		s.reliance.record(p.Task.Candidates, winner.Route)
+	}
+	run := crowd.TaskRun{
+		Resolved:      indexOf(p.Task.Candidates, winner),
+		QuestionsUsed: p.questionsUsed,
+		AnswersUsed:   p.answersUsed,
+		AnswersAsked:  p.answersUsed,
+		MinConfidence: conf,
+	}
+	p.Result = &Response{
+		Route: winner.Route, Stage: stage, Confidence: conf,
+		Candidates: p.Task.Candidates, Task: p.Task, Run: &run, Workers: p.Assigned,
+	}
+	p.State = state
+	for _, r := range p.Assigned {
+		if r.Worker.Outstanding > 0 {
+			r.Worker.Outstanding--
+		}
+	}
+}
+
+func indexOf(cands []task.Candidate, c task.Candidate) int {
+	for i := range cands {
+		if cands[i].Route.Equal(c.Route) {
+			return i
+		}
+	}
+	return 0
+}
+
+// ExpireTask forcibly closes an open task (deadline passed); the provider
+// consensus route is stored with low confidence.
+func (s *System) ExpireTask(id int64) (*Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pending[id]
+	if !ok {
+		return nil, ErrUnknownTask
+	}
+	if p.State != TaskOpen {
+		return nil, ErrTaskClosed
+	}
+	s.finishPending(p, TaskExpired, 0)
+	return p.Result, nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"crowdplanner/internal/calibrate"
+	"crowdplanner/internal/worker"
+)
+
+// forcedAsyncSystem returns a system whose TR gates never fire, so every
+// request publishes a pending task.
+func forcedAsyncSystem(t *testing.T) (*Scenario, *System) {
+	t.Helper()
+	s := scenario(t)
+	cfg := s.System.Config()
+	cfg.AgreementSim = 1.01
+	cfg.EtaConfidence = 1.01
+	cfg.ReuseTruth = false
+	sys := New(cfg, s.Graph, s.Landmarks, s.Data, s.Pool,
+		&PopulationOracle{Data: s.Data, Sample: 30})
+	return s, sys
+}
+
+// answerTruthfully drives a pending task to resolution: every assigned
+// worker answers the current question according to the oracle route's
+// landmark set.
+func answerTruthfully(t *testing.T, s *Scenario, sys *System, p *PendingTask) *Response {
+	t.Helper()
+	truthRoute, err := sys.oracle.BestRoute(p.Req.From, p.Req.To, p.Req.Depart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := calibrate.Calibrate(s.Graph, s.Landmarks, truthRoute, sys.Config().Calibrate)
+	truthSet := lr.IDSet()
+	for rounds := 0; rounds < 100; rounds++ {
+		lm, open := p.CurrentQuestion()
+		if !open {
+			break
+		}
+		progressed := false
+		for _, r := range p.Assigned {
+			resp, err := sys.SubmitAnswer(p.ID, r.Worker.ID, truthSet[lm])
+			if errors.Is(err, ErrAlreadyAnswer) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			progressed = true
+			if resp != nil {
+				return resp
+			}
+			// The question may have advanced under us: stop iterating
+			// workers for the old landmark.
+			if cur, stillOpen := p.CurrentQuestion(); !stillOpen || cur != lm {
+				break
+			}
+		}
+		if !progressed {
+			t.Fatal("no progress while task open")
+		}
+	}
+	if p.Result == nil {
+		t.Fatal("task did not resolve")
+	}
+	return p.Result
+}
+
+func TestAsyncLifecycleResolves(t *testing.T) {
+	s, sys := forcedAsyncSystem(t)
+	from, to, depart := pickOD(s)
+	resp, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != nil {
+		t.Skipf("TR resolved despite forcing (stage %v)", resp.Stage)
+	}
+	if ticket == nil || ticket.State != TaskOpen {
+		t.Fatal("expected an open ticket")
+	}
+	if _, open := ticket.CurrentQuestion(); !open {
+		t.Fatal("ticket has no current question")
+	}
+	// Assigned workers carry outstanding load while the task is open.
+	if ticket.Assigned[0].Worker.Outstanding < 1 {
+		t.Error("assigned worker should have outstanding > 0")
+	}
+
+	final := answerTruthfully(t, s, sys, ticket)
+	if ticket.State != TaskResolved {
+		t.Fatalf("state = %v", ticket.State)
+	}
+	if final.Stage != StageCrowd {
+		t.Errorf("stage = %v", final.Stage)
+	}
+	if final.Route.Empty() || !final.Route.Valid(s.Graph) {
+		t.Error("resolved route invalid")
+	}
+	// Outstanding released; truth stored; reuse now hits.
+	for _, r := range ticket.Assigned {
+		if r.Worker.Outstanding != 0 {
+			t.Errorf("worker %d outstanding = %d", r.Worker.ID, r.Worker.Outstanding)
+		}
+	}
+	if _, ok := sys.TruthDB().Lookup(from, to, depart); !ok {
+		t.Error("resolved task should store a truth")
+	}
+	// With truthful answers, the resolved route should be the candidate
+	// closest to the oracle route.
+	truthRoute, _ := sys.oracle.BestRoute(from, to, depart)
+	best, bestSim := 0, -1.0
+	for i, c := range final.Candidates {
+		if sim := c.Route.Similarity(truthRoute); sim > bestSim {
+			bestSim, best = sim, i
+		}
+	}
+	if !final.Route.Equal(final.Candidates[best].Route) {
+		t.Error("truthful answers should resolve to the best candidate")
+	}
+}
+
+func TestAsyncSubmitValidation(t *testing.T) {
+	s, sys := forcedAsyncSystem(t)
+	from, to, depart := pickOD(s)
+	_, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	if err != nil || ticket == nil {
+		t.Skipf("no ticket: %v", err)
+	}
+	t.Cleanup(func() { _, _ = sys.ExpireTask(ticket.ID) }) // release workers
+	// Unknown task.
+	if _, err := sys.SubmitAnswer(99999, ticket.Assigned[0].Worker.ID, true); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("unknown task err = %v", err)
+	}
+	// Unassigned worker.
+	var outsider worker.ID = -1
+	for _, w := range s.Pool.Workers {
+		if !ticket.IsAssigned(w.ID) {
+			outsider = w.ID
+			break
+		}
+	}
+	if outsider >= 0 {
+		if _, err := sys.SubmitAnswer(ticket.ID, outsider, true); !errors.Is(err, ErrNotAssigned) {
+			t.Errorf("outsider err = %v", err)
+		}
+	}
+	// Double answer.
+	wid := ticket.Assigned[0].Worker.ID
+	if _, err := sys.SubmitAnswer(ticket.ID, wid, true); err != nil && !errors.Is(err, ErrAlreadyAnswer) {
+		t.Fatalf("first answer err = %v", err)
+	}
+	if _, err := sys.SubmitAnswer(ticket.ID, wid, true); !errors.Is(err, ErrAlreadyAnswer) {
+		// The first answer may have closed the question (resetting the
+		// answered set) — in that case a second answer is legal. Only fail
+		// when the question did not advance.
+		if cur, open := ticket.CurrentQuestion(); open && cur == ticket.Task.Questions[0] {
+			t.Errorf("double answer err = %v", err)
+		}
+	}
+}
+
+func TestAsyncExpire(t *testing.T) {
+	s, sys := forcedAsyncSystem(t)
+	from, to, depart := pickOD(s)
+	_, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	if err != nil || ticket == nil {
+		t.Skipf("no ticket: %v", err)
+	}
+	resp, err := sys.ExpireTask(ticket.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticket.State != TaskExpired || resp.Stage != StageFallback {
+		t.Errorf("state = %v stage = %v", ticket.State, resp.Stage)
+	}
+	if resp.Route.Empty() {
+		t.Error("expired task must still answer with the consensus route")
+	}
+	// Closed twice is an error.
+	if _, err := sys.ExpireTask(ticket.ID); !errors.Is(err, ErrTaskClosed) {
+		t.Errorf("double expire err = %v", err)
+	}
+	// Answers after expiry are rejected.
+	if _, err := sys.SubmitAnswer(ticket.ID, ticket.Assigned[0].Worker.ID, true); !errors.Is(err, ErrTaskClosed) {
+		t.Errorf("answer after expiry err = %v", err)
+	}
+	// Workers are released.
+	for _, r := range ticket.Assigned {
+		if r.Worker.Outstanding != 0 {
+			t.Errorf("worker %d outstanding = %d after expiry", r.Worker.ID, r.Worker.Outstanding)
+		}
+	}
+}
+
+func TestAsyncPendingTasksView(t *testing.T) {
+	s, sys := forcedAsyncSystem(t)
+	from, to, depart := pickOD(s)
+	_, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	if err != nil || ticket == nil {
+		t.Skipf("no ticket: %v", err)
+	}
+	t.Cleanup(func() { _, _ = sys.ExpireTask(ticket.ID) }) // release workers
+	wid := ticket.Assigned[0].Worker.ID
+	open := sys.PendingTasks(wid)
+	found := false
+	for _, p := range open {
+		if p.ID == ticket.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("assigned worker should see the open task")
+	}
+	// After answering, the task disappears from the worker's view (until
+	// the question advances).
+	if _, err := sys.SubmitAnswer(ticket.ID, wid, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sys.PendingTasks(wid) {
+		if p.ID == ticket.ID {
+			if cur, openQ := p.CurrentQuestion(); openQ && p.answered[wid] {
+				_ = cur
+				t.Error("answered worker still sees the same question")
+			}
+		}
+	}
+	if got, ok := sys.PendingTask(ticket.ID); !ok || got.ID != ticket.ID {
+		t.Error("PendingTask lookup failed")
+	}
+	if _, ok := sys.PendingTask(424242); ok {
+		t.Error("unknown pending task should not resolve")
+	}
+}
+
+func TestAsyncTRShortCircuit(t *testing.T) {
+	s := scenario(t)
+	// Default gates: most requests resolve without the crowd; the async
+	// entry point must return the response directly.
+	from, to, depart := pickOD(s)
+	resp, ticket, err := s.System.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticket != nil {
+		t.Cleanup(func() { _, _ = s.System.ExpireTask(ticket.ID) })
+	}
+	if resp == nil && ticket == nil {
+		t.Fatal("neither response nor ticket")
+	}
+	if resp != nil && ticket != nil {
+		t.Fatal("both response and ticket")
+	}
+	if resp != nil && resp.Route.Empty() {
+		t.Error("short-circuit response has empty route")
+	}
+}
+
+func TestTaskStateString(t *testing.T) {
+	if TaskOpen.String() != "open" || TaskResolved.String() != "resolved" ||
+		TaskExpired.String() != "expired" || TaskState(9).String() != "TaskState(9)" {
+		t.Error("TaskState.String mismatch")
+	}
+}

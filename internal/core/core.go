@@ -1,0 +1,495 @@
+// Package core assembles the CrowdPlanner system (paper Fig. 1): the
+// traditional route recommendation (TR) module — candidate generation from
+// web-service-style routing and popular-route mining, truth reuse, agreement
+// checking and confidence scoring — and the crowd route recommendation (CR)
+// module — task generation, worker selection, simulated crowd answering with
+// early stop, rewarding, and truth write-back.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"crowdplanner/internal/calibrate"
+	"crowdplanner/internal/crowd"
+	"crowdplanner/internal/landmark"
+	"crowdplanner/internal/popular"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/task"
+	"crowdplanner/internal/traj"
+	"crowdplanner/internal/truth"
+	"crowdplanner/internal/worker"
+)
+
+// Stage identifies which component resolved a request.
+type Stage int
+
+// Resolution stages in the order the control logic tries them.
+const (
+	// StageReuse: an exact truth hit answered the request (reuse truth).
+	StageReuse Stage = iota
+	// StageAgreement: the candidate routes agreed with each other strongly
+	// enough that no human was needed.
+	StageAgreement
+	// StageConfidence: verified truths scored one candidate above η.
+	StageConfidence
+	// StageCrowd: the CR module resolved the request with worker answers.
+	StageCrowd
+	// StageFallback: the CR module could not run (e.g. no eligible
+	// workers); the best-prior candidate was returned.
+	StageFallback
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageReuse:
+		return "reuse"
+	case StageAgreement:
+		return "agreement"
+	case StageConfidence:
+		return "confidence"
+	case StageCrowd:
+		return "crowd"
+	case StageFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Config collects every knob of the system. Start from DefaultConfig.
+type Config struct {
+	// EtaConfidence is η: the minimum truth-derived confidence at which the
+	// TR module answers without the crowd.
+	EtaConfidence float64
+	// AgreementSim is the pairwise route similarity above which candidates
+	// are said to agree.
+	AgreementSim float64
+	// ReuseTruth toggles the reuse-truth component (E7 ablation).
+	ReuseTruth bool
+	// TruthSlots quantizes departure times for truth tags.
+	TruthSlots int
+	// TruthRadius and TruthSlotTol bound which truths count as "near" a
+	// request when scoring confidence.
+	TruthRadius  float64
+	TruthSlotTol int
+
+	// KShortestAlternatives adds the web service's alternative routes
+	// (k-shortest by travel time) to the candidate set when positive.
+	KShortestAlternatives int
+
+	Calibrate calibrate.Config
+	Task      task.Config
+
+	Familiarity worker.FamiliarityConfig
+	UsePMF      bool
+	PMF         worker.PMFConfig
+	Select      worker.SelectConfig
+
+	// WorkersPerTask is k for top-k eligible selection.
+	WorkersPerTask int
+	// EarlyStop is the per-question posterior threshold (>0.5 enables).
+	EarlyStop float64
+	Answers   crowd.AnswerModel
+	Rewards   crowd.RewardConfig
+
+	// OracleSample bounds how many drivers the population oracle polls.
+	OracleSample int
+
+	// UseSourceReliability enables the paper's future-work extension
+	// (§VI, "quality control of popular route mining algorithms"): track
+	// each provider's historical precision and fold it into candidate
+	// priors. Off by default so the canonical experiment numbers match
+	// EXPERIMENTS.md.
+	UseSourceReliability bool
+
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		EtaConfidence:         0.75,
+		AgreementSim:          0.8,
+		ReuseTruth:            true,
+		TruthSlots:            24,
+		TruthRadius:           600,
+		TruthSlotTol:          1,
+		KShortestAlternatives: 2,
+		Calibrate:             calibrate.DefaultConfig(),
+		Task:                  task.DefaultConfig(),
+		Familiarity:           worker.DefaultFamiliarityConfig(),
+		UsePMF:                true,
+		PMF:                   worker.DefaultPMFConfig(),
+		Select:                worker.DefaultSelectConfig(),
+		WorkersPerTask:        9,
+		EarlyStop:             0.95,
+		Answers:               crowd.DefaultAnswerModel(),
+		Rewards:               crowd.DefaultRewardConfig(),
+		OracleSample:          60,
+		Seed:                  1,
+	}
+}
+
+// Oracle supplies the (simulated) true best route — the stand-in for the
+// collective knowledge in workers' heads. See PopulationOracle.
+type Oracle interface {
+	BestRoute(from, to roadnet.NodeID, t routing.SimTime) (roadnet.Route, error)
+}
+
+// PopulationOracle answers with the population-preferred route of the
+// driver simulation.
+type PopulationOracle struct {
+	Data   *traj.Dataset
+	Sample int
+}
+
+// BestRoute implements Oracle.
+func (o *PopulationOracle) BestRoute(from, to roadnet.NodeID, t routing.SimTime) (roadnet.Route, error) {
+	return o.Data.GroundTruth(from, to, t, o.Sample)
+}
+
+// System is a fully assembled CrowdPlanner instance.
+type System struct {
+	cfg       Config
+	graph     *roadnet.Graph
+	landmarks *landmark.Set
+	data      *traj.Dataset
+	truth     *truth.DB
+	pool      *worker.Pool
+	miners    []popular.Miner
+	oracle    Oracle
+
+	mu         sync.Mutex
+	mstar      *worker.Matrix // system's estimate (PMF-densified, accumulated)
+	mtrue      *worker.Matrix // workers' actual knowledge (no PMF inference)
+	rng        *rand.Rand
+	nextTaskID int64
+	pending    map[int64]*PendingTask // async crowd tasks awaiting answers
+	reliance   *reliabilityTracker    // per-source precision (future work §VI)
+}
+
+// New assembles a system over the given substrates. The landmark set must
+// already carry significances (run InferSignificance first).
+func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, pool *worker.Pool, oracle Oracle) *System {
+	s := &System{
+		cfg:       cfg,
+		graph:     g,
+		landmarks: lms,
+		data:      data,
+		truth:     truth.NewDB(cfg.TruthSlots),
+		pool:      pool,
+		miners:    []popular.Miner{popular.NewMPR(), popular.NewLDR(), popular.NewMFP()},
+		oracle:    oracle,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		reliance:  newReliabilityTracker(),
+	}
+	s.RefreshFamiliarity()
+	return s
+}
+
+// Graph exposes the road network.
+func (s *System) Graph() *roadnet.Graph { return s.graph }
+
+// Landmarks exposes the landmark set.
+func (s *System) Landmarks() *landmark.Set { return s.landmarks }
+
+// TruthDB exposes the verified-truth store.
+func (s *System) TruthDB() *truth.DB { return s.truth }
+
+// Pool exposes the worker pool.
+func (s *System) Pool() *worker.Pool { return s.pool }
+
+// Config returns the active configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// RefreshFamiliarity rebuilds both familiarity matrices from current
+// profiles and histories: the workers' actual knowledge M_true (raw scores,
+// spatially accumulated) and the system's estimate M* (raw scores, PMF
+// densified, then accumulated). Selection uses the estimate; the simulated
+// crowd answers according to actual knowledge — keeping the two distinct is
+// what lets the experiments measure whether PMF-based selection finds
+// genuinely knowledgeable workers. Call after batches of crowd work to fold
+// new history into selection.
+func (s *System) RefreshFamiliarity() {
+	m := worker.BuildMatrix(s.pool, s.landmarks, s.cfg.Familiarity)
+	mtrue := worker.Accumulate(m, s.landmarks, s.cfg.Familiarity)
+	est := m
+	if s.cfg.UsePMF {
+		model := worker.FitPMF(m, s.cfg.PMF)
+		est = worker.Densify(m, model, 0.05)
+	}
+	mstar := worker.Accumulate(est, s.landmarks, s.cfg.Familiarity)
+	s.mu.Lock()
+	s.mstar = mstar
+	s.mtrue = mtrue
+	s.mu.Unlock()
+}
+
+// Familiarity returns the system's estimated accumulated familiarity matrix
+// M* (the one worker selection consults).
+func (s *System) Familiarity() *worker.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mstar
+}
+
+// TrueFamiliarity returns the workers' actual accumulated knowledge — the
+// signal the simulated crowd answers with. A real deployment has no such
+// matrix; it exists because the crowd is simulated (see DESIGN.md).
+func (s *System) TrueFamiliarity() *worker.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mtrue
+}
+
+// Request is a route recommendation request.
+type Request struct {
+	From, To    roadnet.NodeID
+	Depart      routing.SimTime
+	DeadlineMin float64 // response deadline for crowd tasks; 0 = config default
+}
+
+// Response reports how a request was answered.
+type Response struct {
+	Route      roadnet.Route
+	Stage      Stage
+	Confidence float64
+	Candidates []task.Candidate
+	Task       *task.Task     // non-nil for StageCrowd
+	Run        *crowd.TaskRun // non-nil for StageCrowd
+	Workers    []worker.Ranked
+}
+
+// Errors returned by Recommend.
+var (
+	ErrBadRequest   = errors.New("core: invalid request")
+	ErrNoCandidates = errors.New("core: no provider produced a candidate route")
+)
+
+// Recommend processes one request through the full Fig. 1 workflow,
+// simulating the crowd synchronously when it is needed. For the open-loop
+// protocol where real clients submit answers over time, see RecommendAsync.
+func (s *System) Recommend(req Request) (*Response, error) {
+	// Stages 1–4: reuse truth, candidate generation, agreement check,
+	// confidence scoring.
+	resp, cands, err := s.resolveTraditional(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp != nil {
+		return resp, nil
+	}
+	// Stage 5: crowd route recommendation.
+	return s.crowdResolve(req, cands)
+}
+
+// Candidates exposes the route generation component: the calibrated,
+// deduplicated candidate set for a request. Used by the experiment harness
+// to study the CR module in isolation.
+func (s *System) Candidates(req Request) []task.Candidate {
+	return s.generateCandidates(req)
+}
+
+// generateCandidates collects routes from the web-service providers and the
+// popular-route miners, calibrates them to landmark-based form, and dedups
+// identical node sequences (merging provenance).
+func (s *System) generateCandidates(req Request) []task.Candidate {
+	type proposal struct {
+		source string
+		route  roadnet.Route
+	}
+	var proposals []proposal
+	if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.DistanceCost, req.Depart); err == nil {
+		proposals = append(proposals, proposal{"ws-shortest", r})
+	}
+	if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart); err == nil {
+		proposals = append(proposals, proposal{"ws-fastest", r})
+	}
+	if k := s.cfg.KShortestAlternatives; k > 0 {
+		if rs, _, err := routing.KShortest(s.graph, req.From, req.To, k+1, routing.TravelTimeCost, req.Depart); err == nil {
+			for i, r := range rs {
+				if i == 0 {
+					continue // same as ws-fastest
+				}
+				proposals = append(proposals, proposal{fmt.Sprintf("ws-alt%d", i), r})
+			}
+		}
+	}
+	for _, m := range s.miners {
+		if r, _, err := m.Mine(s.data, req.From, req.To, req.Depart); err == nil {
+			proposals = append(proposals, proposal{m.Name(), r})
+		}
+	}
+
+	var cands []task.Candidate
+	seen := map[string]int{}
+	for _, p := range proposals {
+		key := p.route.String()
+		if i, ok := seen[key]; ok {
+			cands[i].Source += "+" + p.source
+			continue
+		}
+		seen[key] = len(cands)
+		cands = append(cands, task.Candidate{
+			Source: p.source,
+			Route:  p.route,
+			LRoute: calibrate.Calibrate(s.graph, s.landmarks, p.route, s.cfg.Calibrate),
+		})
+	}
+	return cands
+}
+
+// agreement reports whether all candidates pairwise agree above the
+// configured similarity; if so it returns the medoid (the candidate with
+// the highest mean similarity to the others).
+func (s *System) agreement(cands []task.Candidate) (task.Candidate, float64, bool) {
+	if len(cands) == 1 {
+		return cands[0], 1, true
+	}
+	bestIdx, bestMean := -1, -1.0
+	minSim := 1.0
+	for i := range cands {
+		var mean float64
+		for j := range cands {
+			if i == j {
+				continue
+			}
+			sim := cands[i].Route.Similarity(cands[j].Route)
+			mean += sim
+			if i < j && sim < minSim {
+				minSim = sim
+			}
+		}
+		mean /= float64(len(cands) - 1)
+		if mean > bestMean {
+			bestMean, bestIdx = mean, i
+		}
+	}
+	if minSim >= s.cfg.AgreementSim {
+		return cands[bestIdx], bestMean, true
+	}
+	return task.Candidate{}, 0, false
+}
+
+// crowdResolve runs the CR module: task generation, worker selection,
+// simulated answering with early stop, rewards, and truth write-back.
+func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, error) {
+	merged := task.MergeIndistinguishable(cands)
+	if len(merged) == 1 {
+		// All candidates look identical to humans; no task needed.
+		s.storeTruth(req, merged[0].Route, 0.5, false)
+		return &Response{Route: merged[0].Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands}, nil
+	}
+
+	s.mu.Lock()
+	s.nextTaskID++
+	id := s.nextTaskID
+	mstar := s.mstar
+	mtrue := s.mtrue
+	s.mu.Unlock()
+
+	tk, err := task.Generate(id, s.landmarks, merged, s.cfg.Task)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating task: %w", err)
+	}
+
+	selCfg := s.cfg.Select
+	if req.DeadlineMin > 0 {
+		selCfg.DeadlineMinutes = req.DeadlineMin
+	}
+	assigned := worker.TopKEligible(s.pool, mstar, tk.Questions, s.cfg.WorkersPerTask, selCfg)
+	if len(assigned) == 0 {
+		best := bestByConsensus(merged)
+		s.storeTruth(req, best.Route, 0.5, false)
+		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil
+	}
+	s.mu.Lock()
+	for _, r := range assigned {
+		r.Worker.Outstanding++
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		for _, r := range assigned {
+			r.Worker.Outstanding--
+		}
+		s.mu.Unlock()
+	}()
+
+	// The simulated truth: the population-preferred route's landmarks.
+	truthRoute, err := s.oracle.BestRoute(req.From, req.To, req.Depart)
+	if err != nil {
+		return nil, fmt.Errorf("core: oracle: %w", err)
+	}
+	truthLR := calibrate.Calibrate(s.graph, s.landmarks, truthRoute, s.cfg.Calibrate)
+	truthSet := truthLR.IDSet()
+
+	// Workers answer according to their actual knowledge, not the system's
+	// estimate of it.
+	fam := func(workerIdx int, l landmark.ID) float64 {
+		if v, ok := mtrue.Get(workerIdx, int(l)); ok {
+			return v
+		}
+		return 0
+	}
+	s.mu.Lock()
+	run := crowd.RunTaskHooked(tk, assigned, truthSet, fam, s.cfg.Answers, s.cfg.EarlyStop, s.rng,
+		func(l landmark.ID, answers []crowd.Answer, used int) {
+			crowd.Reward(s.pool, l, answers, used, s.cfg.Rewards)
+		})
+	s.mu.Unlock()
+
+	winner := merged[run.Resolved]
+	s.storeTruth(req, winner.Route, run.MinConfidence, true)
+	s.reliance.record(merged, winner.Route)
+	return &Response{
+		Route: winner.Route, Stage: StageCrowd, Confidence: run.MinConfidence,
+		Candidates: cands, Task: tk, Run: &run, Workers: assigned,
+	}, nil
+}
+
+// bestByConsensus is the TR module's best guess when the crowd cannot be
+// asked: the candidate maximizing truth-derived prior plus mean similarity
+// to the other candidates (the providers' consensus medoid).
+func bestByConsensus(cands []task.Candidate) task.Candidate {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i := range cands {
+		var mean float64
+		for j := range cands {
+			if i != j {
+				mean += cands[i].Route.Similarity(cands[j].Route)
+			}
+		}
+		mean /= float64(len(cands) - 1)
+		if score := cands[i].Prior + mean; score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return cands[best]
+}
+
+func (s *System) storeTruth(req Request, route roadnet.Route, conf float64, byCrowd bool) {
+	if conf <= 0 {
+		conf = 0.5
+	}
+	if conf > 1 {
+		conf = 1
+	}
+	s.truth.Store(truth.Entry{
+		From: req.From, To: req.To,
+		Slot:       req.Depart.Slot(s.cfg.TruthSlots),
+		Route:      route,
+		Confidence: conf,
+		Crowd:      byCrowd,
+		StoredAt:   req.Depart,
+	})
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"crowdplanner/internal/calibrate"
+	"crowdplanner/internal/landmark"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/traj"
+	"crowdplanner/internal/worker"
+)
+
+// ScenarioConfig bundles the generation knobs of every substrate, so one
+// struct describes a full synthetic world: city, drivers, trajectory corpus,
+// landmarks, check-ins, worker pool and system configuration.
+type ScenarioConfig struct {
+	City       roadnet.GenConfig
+	Population traj.PopulationConfig
+	Dataset    traj.DatasetConfig
+	Landmarks  landmark.GenConfig
+	Checkins   landmark.CheckinConfig
+	HITS       landmark.HITSConfig
+	Workers    worker.GenConfig
+	System     Config
+}
+
+// DefaultScenarioConfig is the mid-size world used by the examples and most
+// experiments: a 400-intersection city, 300 drivers, ~1500 trips, 200
+// landmarks, 300 workers.
+func DefaultScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{
+		City:       roadnet.DefaultGenConfig(),
+		Population: traj.DefaultPopulationConfig(),
+		Dataset:    traj.DefaultDatasetConfig(),
+		Landmarks:  landmark.DefaultGenConfig(),
+		Checkins:   landmark.DefaultCheckinConfig(),
+		HITS:       landmark.DefaultHITSConfig(),
+		Workers:    worker.DefaultGenConfig(),
+		System:     DefaultConfig(),
+	}
+}
+
+// SmallScenarioConfig shrinks everything for fast tests.
+func SmallScenarioConfig() ScenarioConfig {
+	cfg := DefaultScenarioConfig()
+	cfg.City.Cols, cfg.City.Rows = 10, 10
+	cfg.Population.NumDrivers = 80
+	cfg.Dataset.NumODs = 15
+	cfg.Dataset.TripsPerOD = 12
+	cfg.Landmarks.NumPoints = 80
+	cfg.Landmarks.NumLines = 6
+	cfg.Landmarks.NumRegions = 4
+	cfg.Checkins.NumUsers = 120
+	cfg.Workers.NumWorkers = 120
+	cfg.System.PMF.Iters = 40
+	return cfg
+}
+
+// Scenario is a fully generated world plus the system running on it.
+type Scenario struct {
+	System    *System
+	Graph     *roadnet.Graph
+	Landmarks *landmark.Set
+	Drivers   []*traj.Driver
+	Data      *traj.Dataset
+	Pool      *worker.Pool
+}
+
+// BuildScenario generates every substrate deterministically from the config
+// and assembles the system: city → drivers → trajectory corpus → landmarks
+// → HITS significance (check-ins + trajectory visits) → worker pool →
+// CrowdPlanner.
+func BuildScenario(cfg ScenarioConfig) *Scenario {
+	g := roadnet.Generate(cfg.City)
+	drivers := traj.NewPopulation(g, cfg.Population)
+	data := traj.GenerateDataset(g, drivers, cfg.Dataset)
+
+	lms := landmark.Generate(g, cfg.Landmarks)
+	visits := landmark.GenerateCheckins(lms, g.BBox(), cfg.Checkins)
+	visits = append(visits, calibrate.TrajectoryVisits(data, lms, cfg.System.Calibrate, 1_000_000)...)
+	lms.InferSignificance(visits, cfg.HITS)
+
+	pool := worker.GeneratePool(g.BBox(), lms, cfg.Workers)
+
+	oracle := &PopulationOracle{Data: data, Sample: cfg.System.OracleSample}
+	sys := New(cfg.System, g, lms, data, pool, oracle)
+	return &Scenario{
+		System:    sys,
+		Graph:     g,
+		Landmarks: lms,
+		Drivers:   drivers,
+		Data:      data,
+		Pool:      pool,
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"time"
+
+	"crowdplanner/internal/core"
+)
+
+// buildScaledWorld generates a scenario with the given city side length,
+// scaling the other substrates proportionally.
+func buildScaledWorld(side int, seed int64) *core.Scenario {
+	cfg := core.DefaultScenarioConfig()
+	cfg.City.Cols, cfg.City.Rows = side, side
+	cfg.City.Seed = seed
+	cfg.Population.NumDrivers = side * 12
+	cfg.Population.Seed = seed + 1
+	cfg.Dataset.NumODs = side * 2
+	cfg.Dataset.TripsPerOD = 18
+	cfg.Dataset.Seed = seed + 2
+	cfg.Landmarks.NumPoints = side * side / 2
+	cfg.Landmarks.NumLines = side / 2
+	cfg.Landmarks.NumRegions = side / 3
+	cfg.Landmarks.Seed = seed + 3
+	cfg.Checkins.NumUsers = side * 15
+	cfg.Checkins.Seed = seed + 4
+	cfg.Workers.NumWorkers = side * 15
+	cfg.Workers.Seed = seed + 5
+	cfg.System.PMF.Iters = 40
+	return core.BuildScenario(cfg)
+}
+
+// E10Scale reproduces the scalability figure (reconstructed E10):
+// end-to-end request latency and throughput as the city (and worker pool)
+// grows. Expected shape: latency grows roughly linearly in network size
+// (Dijkstra-dominated); throughput falls correspondingly.
+func E10Scale(requestsPerSize int) *Table {
+	tbl := &Table{
+		ID:     "E10",
+		Title:  "end-to-end scalability vs city size",
+		Header: []string{"city", "nodes", "workers", "build s", "mean latency ms", "req/s"},
+	}
+	for _, side := range []int{10, 14, 18, 22} {
+		t0 := time.Now()
+		scn := buildScaledWorld(side, int64(side)*1000)
+		build := time.Since(t0)
+		reqs := denseODs(scn, requestsPerSize)
+		if len(reqs) == 0 {
+			continue
+		}
+		// Fresh system so the truth DB starts cold each run.
+		cfg := scn.System.Config()
+		sys := core.New(cfg, scn.Graph, scn.Landmarks, scn.Data, scn.Pool,
+			&core.PopulationOracle{Data: scn.Data, Sample: cfg.OracleSample})
+		t0 = time.Now()
+		var done int
+		for _, req := range reqs {
+			if _, err := sys.Recommend(req); err == nil {
+				done++
+			}
+		}
+		elapsed := time.Since(t0)
+		if done == 0 {
+			continue
+		}
+		latency := float64(elapsed.Milliseconds()) / float64(done)
+		tbl.AddRow(
+			f2(float64(side))+"x"+f2(float64(side)),
+			d(scn.Graph.NumNodes()), d(scn.Pool.Len()),
+			f2(build.Seconds()), f2(latency),
+			f2(float64(done)/elapsed.Seconds()))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"latency includes candidate generation (5 providers), truth scoring and the simulated crowd",
+		"expected shape: latency grows near-linearly with network size")
+	return tbl
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"math"
+
+	"crowdplanner/internal/worker"
+)
+
+// syntheticFamiliarity builds a ground-truth low-rank familiarity matrix
+// (rank trueRank) plus noise, and an observed matrix at the given density.
+// Returns the observed matrix and an evaluation function computing RMSE of
+// a predictor on the held-out (unobserved) entries.
+func syntheticFamiliarity(workers, landmarks, trueRank int, density float64, seed int64) (*worker.Matrix, func(predict func(w, l int) float64) float64) {
+	rng := newRng(seed)
+	W := make([][]float64, workers)
+	for i := range W {
+		W[i] = make([]float64, trueRank)
+		for k := range W[i] {
+			W[i][k] = math.Abs(rng.NormFloat64()) * 0.6
+		}
+	}
+	L := make([][]float64, landmarks)
+	for j := range L {
+		L[j] = make([]float64, trueRank)
+		for k := range L[j] {
+			L[j][k] = math.Abs(rng.NormFloat64()) * 0.6
+		}
+	}
+	full := make([][]float64, workers)
+	for i := range full {
+		full[i] = make([]float64, landmarks)
+		for j := range full[i] {
+			var dot float64
+			for k := 0; k < trueRank; k++ {
+				dot += W[i][k] * L[j][k]
+			}
+			full[i][j] = dot + math.Abs(rng.NormFloat64())*0.05
+		}
+	}
+	obs := worker.NewMatrix(workers, landmarks)
+	held := map[[2]int]float64{}
+	for i := 0; i < workers; i++ {
+		for j := 0; j < landmarks; j++ {
+			if rng.Float64() < density {
+				obs.Set(i, j, full[i][j])
+			} else {
+				held[[2]int{i, j}] = full[i][j]
+			}
+		}
+	}
+	eval := func(predict func(w, l int) float64) float64 {
+		var sum float64
+		var n int
+		for k, v := range held {
+			dd := v - predict(k[0], k[1])
+			sum += dd * dd
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+	return obs, eval
+}
+
+// E5PMF reproduces the familiarity-prediction figure (reconstructed E5):
+// held-out RMSE of PMF densification vs the observed-only baseline
+// (predicting the observed global mean) across matrix densities, plus a
+// latent-dimensionality sweep. Expected shape: PMF beats the baseline at
+// every density; more factors help up to the true rank, then flatten.
+func E5PMF() *Table {
+	const workers, landmarks, trueRank = 150, 250, 6
+	tbl := &Table{
+		ID:     "E5",
+		Title:  "familiarity prediction: held-out RMSE, PMF vs observed-mean baseline",
+		Header: []string{"density%", "factors", "PMF RMSE", "baseline RMSE", "improvement%"},
+	}
+	for _, density := range []float64{0.02, 0.05, 0.10, 0.20} {
+		obs, eval := syntheticFamiliarity(workers, landmarks, trueRank, density, int64(density*1e6))
+		// Observed-mean baseline.
+		var mean float64
+		var n int
+		obs.Each(func(_, _ int, v float64) { mean += v; n++ })
+		if n > 0 {
+			mean /= float64(n)
+		}
+		base := eval(func(_, _ int) float64 { return mean })
+		cfg := worker.DefaultPMFConfig()
+		model := worker.FitPMF(obs, cfg)
+		pmf := eval(model.Predict)
+		improvement := 0.0
+		if base > 0 {
+			improvement = (base - pmf) / base * 100
+		}
+		tbl.AddRow(f2(density*100), d(cfg.Factors), f3(pmf), f3(base), f2(improvement))
+	}
+	// Factor sweep at 10% density.
+	obs, eval := syntheticFamiliarity(workers, landmarks, trueRank, 0.10, 4242)
+	for _, factors := range []int{2, 4, 8, 16} {
+		cfg := worker.DefaultPMFConfig()
+		cfg.Factors = factors
+		model := worker.FitPMF(obs, cfg)
+		tbl.AddRow("10.00", d(factors), f3(eval(model.Predict)), "-", "-")
+	}
+	tbl.Notes = append(tbl.Notes,
+		"ground truth is a rank-6 latent matrix plus noise; held-out = unobserved entries",
+		"expected shape: PMF beats the mean baseline once density reaches ~5% (2% is near the information floor); gains saturate near the true rank")
+	return tbl
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Spec describes a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	// Run executes the experiment at the given scale (1 = the scale used in
+	// EXPERIMENTS.md; smaller values shrink workloads for smoke runs).
+	Run func(scale float64) []*Table
+}
+
+// scaled multiplies a base count by scale with a floor of 1.
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Registry lists every experiment in DESIGN.md §4 order.
+func Registry() []Spec {
+	return []Spec{
+		{"E1", "recommendation accuracy by source", func(s float64) []*Table {
+			return []*Table{E1Accuracy(scaled(30, s))}
+		}},
+		{"E2", "expected questions per task", func(s float64) []*Table {
+			return []*Table{E2Questions(scaled(25, s))}
+		}},
+		{"E3", "landmark selection efficiency", func(s float64) []*Table {
+			return []*Table{E3Selection(scaled(5, s))}
+		}},
+		{"E4", "worker selection strategies", func(s float64) []*Table {
+			return []*Table{E4Workers(scaled(40, s))}
+		}},
+		{"E5", "PMF familiarity prediction", func(float64) []*Table {
+			return []*Table{E5PMF()}
+		}},
+		{"E6", "early stop", func(s float64) []*Table {
+			return []*Table{E6EarlyStop(scaled(40, s))}
+		}},
+		{"E7", "truth reuse and TR resolution", func(s float64) []*Table {
+			return E7Truth(scaled(300, s))
+		}},
+		{"E8", "response-time filtering", func(s float64) []*Table {
+			return []*Table{E8Response(scaled(40, s))}
+		}},
+		{"E9", "binary vs multiple choice", func(s float64) []*Table {
+			return []*Table{E9Binary(scaled(15, s))}
+		}},
+		{"E10", "scalability", func(s float64) []*Table {
+			return []*Table{E10Scale(scaled(25, s))}
+		}},
+		{"A1", "ablation: voting rule", func(s float64) []*Table {
+			return []*Table{AblationVoting(scaled(30, s))}
+		}},
+		{"A2", "ablation: PMF densification", func(s float64) []*Table {
+			return []*Table{AblationPMF(scaled(30, s))}
+		}},
+		{"A3", "ablation: question ordering", func(s float64) []*Table {
+			return []*Table{AblationOrdering(scaled(30, s))}
+		}},
+	}
+}
+
+// Find returns the spec with the given ID.
+func Find(id string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// RunAll executes the selected experiments (nil = all) at the given scale,
+// printing each table to w. IDs are run in registry order regardless of the
+// order given.
+func RunAll(w io.Writer, ids []string, scale float64) error {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	var selected []Spec
+	for _, s := range Registry() {
+		if len(want) == 0 || want[s.ID] {
+			selected = append(selected, s)
+			delete(want, s.ID)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return fmt.Errorf("experiments: unknown experiment IDs %v", unknown)
+	}
+	for _, s := range selected {
+		fmt.Fprintf(w, "# %s — %s\n", s.ID, s.Title)
+		for _, tbl := range s.Run(scale) {
+			tbl.Fprint(w)
+		}
+	}
+	return nil
+}

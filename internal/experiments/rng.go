@@ -1,0 +1,7 @@
+package experiments
+
+import "math/rand"
+
+// newRng returns a deterministic PRNG for the given seed; centralized so
+// experiments never touch the global source.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

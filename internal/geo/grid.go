@@ -1,0 +1,185 @@
+package geo
+
+import "math"
+
+// Grid is a uniform spatial hash index mapping integer item IDs to cells of a
+// fixed size. It supports nearest-neighbour and radius queries and is the
+// workhorse index for road-network nodes and landmarks. The zero value is not
+// usable; construct with NewGrid.
+type Grid struct {
+	cell   float64
+	bounds BBox
+	cols   int
+	rows   int
+	cells  [][]int32
+	pts    map[int32]Point
+}
+
+// NewGrid creates a grid covering bounds with square cells of the given size
+// in meters. Items inserted outside bounds are clamped to the border cells,
+// so queries remain correct (if slower) for stragglers. It panics if cell is
+// not positive.
+func NewGrid(bounds BBox, cell float64) *Grid {
+	if cell <= 0 {
+		panic("geo: grid cell size must be positive")
+	}
+	cols := int(math.Ceil(bounds.Width()/cell)) + 1
+	rows := int(math.Ceil(bounds.Height()/cell)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		cell:   cell,
+		bounds: bounds,
+		cols:   cols,
+		rows:   rows,
+		cells:  make([][]int32, cols*rows),
+		pts:    make(map[int32]Point),
+	}
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx := int((p.X - g.bounds.Min.X) / g.cell)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Insert adds an item with the given ID at point p. Re-inserting an existing
+// ID adds a second reference with the new position; callers are expected to
+// use unique IDs.
+func (g *Grid) Insert(id int32, p Point) {
+	idx := g.cellIndex(p)
+	g.cells[idx] = append(g.cells[idx], id)
+	g.pts[id] = p
+}
+
+// Len returns the number of items inserted.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Point returns the stored position of id and whether it exists.
+func (g *Grid) Point(id int32) (Point, bool) {
+	p, ok := g.pts[id]
+	return p, ok
+}
+
+// Nearest returns the ID of the item closest to p and its distance. ok is
+// false when the grid is empty. Ties are broken by the lowest ID so results
+// are deterministic.
+func (g *Grid) Nearest(p Point) (id int32, dist float64, ok bool) {
+	if len(g.pts) == 0 {
+		return 0, 0, false
+	}
+	best := int32(-1)
+	bestSq := math.Inf(1)
+	// Expand ring by ring until a hit is found, then one extra ring to be
+	// safe against diagonal neighbours.
+	cx := int((p.X - g.bounds.Min.X) / g.cell)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	foundRing := -1
+	for ring := 0; ring <= maxRing; ring++ {
+		if foundRing >= 0 && ring > foundRing+1 {
+			break
+		}
+		hit := g.scanRing(cx, cy, ring, p, &best, &bestSq)
+		if hit && foundRing < 0 {
+			foundRing = ring
+		}
+	}
+	if best < 0 {
+		// All items live outside the scanned rings (possible when the grid
+		// bounds exclude p badly); fall back to a full scan.
+		for id, q := range g.pts {
+			d := SqDist(p, q)
+			if d < bestSq || (d == bestSq && id < best) {
+				bestSq = d
+				best = id
+			}
+		}
+	}
+	return best, math.Sqrt(bestSq), true
+}
+
+// scanRing scans the square ring at Chebyshev distance ring from (cx, cy)
+// and updates best/bestSq. It reports whether any item was seen.
+func (g *Grid) scanRing(cx, cy, ring int, p Point, best *int32, bestSq *float64) bool {
+	seen := false
+	scan := func(x, y int) {
+		if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+			return
+		}
+		for _, id := range g.cells[y*g.cols+x] {
+			seen = true
+			d := SqDist(p, g.pts[id])
+			if d < *bestSq || (d == *bestSq && id < *best) {
+				*bestSq = d
+				*best = id
+			}
+		}
+	}
+	if ring == 0 {
+		scan(cx, cy)
+		return seen
+	}
+	for x := cx - ring; x <= cx+ring; x++ {
+		scan(x, cy-ring)
+		scan(x, cy+ring)
+	}
+	for y := cy - ring + 1; y <= cy+ring-1; y++ {
+		scan(cx-ring, y)
+		scan(cx+ring, y)
+	}
+	return seen
+}
+
+// Within returns the IDs of all items within radius r of p, in ascending ID
+// order for determinism.
+func (g *Grid) Within(p Point, r float64) []int32 {
+	if r < 0 || len(g.pts) == 0 {
+		return nil
+	}
+	minIdx := g.cellIndex(Point{X: p.X - r, Y: p.Y - r})
+	maxIdx := g.cellIndex(Point{X: p.X + r, Y: p.Y + r})
+	minX, minY := minIdx%g.cols, minIdx/g.cols
+	maxX, maxY := maxIdx%g.cols, maxIdx/g.cols
+	r2 := r * r
+	var out []int32
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			for _, id := range g.cells[y*g.cols+x] {
+				if SqDist(p, g.pts[id]) <= r2 {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+// sortInt32 sorts a small slice of int32 in ascending order. Insertion sort
+// keeps the dependency footprint minimal and is fast for the short result
+// lists produced by radius queries.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package geo
+
+// Polyline is an ordered sequence of points describing a continuous path.
+type Polyline []Point
+
+// Length returns the total length of the polyline in meters. An empty or
+// single-point polyline has length 0.
+func (pl Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += Dist(pl[i-1], pl[i])
+	}
+	return total
+}
+
+// BBox returns the bounding box of the polyline. It panics on an empty
+// polyline, mirroring NewBBox.
+func (pl Polyline) BBox() BBox {
+	return NewBBox(pl...)
+}
+
+// DistTo returns the minimum distance from p to any segment of the polyline,
+// and the arc-length position (meters from the start) of the closest point.
+// A single-point polyline is treated as that point at position 0. It panics
+// on an empty polyline.
+func (pl Polyline) DistTo(p Point) (dist, position float64) {
+	if len(pl) == 0 {
+		panic("geo: DistTo on empty polyline")
+	}
+	if len(pl) == 1 {
+		return Dist(p, pl[0]), 0
+	}
+	best := Dist(p, pl[0])
+	bestPos := 0.0
+	var walked float64
+	for i := 1; i < len(pl); i++ {
+		segLen := Dist(pl[i-1], pl[i])
+		d, t := DistPointSegment(p, pl[i-1], pl[i])
+		if d < best {
+			best = d
+			bestPos = walked + t*segLen
+		}
+		walked += segLen
+	}
+	return best, bestPos
+}
+
+// PointAt returns the point at arc-length position meters from the start,
+// clamped to the polyline's extent. It panics on an empty polyline.
+func (pl Polyline) PointAt(position float64) Point {
+	if len(pl) == 0 {
+		panic("geo: PointAt on empty polyline")
+	}
+	if position <= 0 || len(pl) == 1 {
+		return pl[0]
+	}
+	var walked float64
+	for i := 1; i < len(pl); i++ {
+		segLen := Dist(pl[i-1], pl[i])
+		if walked+segLen >= position {
+			if segLen == 0 {
+				return pl[i]
+			}
+			return Lerp(pl[i-1], pl[i], (position-walked)/segLen)
+		}
+		walked += segLen
+	}
+	return pl[len(pl)-1]
+}
+
+// Resample returns a polyline with points spaced approximately every step
+// meters along pl, always including the original endpoints. It panics if
+// step <= 0 or the polyline is empty.
+func (pl Polyline) Resample(step float64) Polyline {
+	if step <= 0 {
+		panic("geo: Resample step must be positive")
+	}
+	if len(pl) == 0 {
+		panic("geo: Resample on empty polyline")
+	}
+	total := pl.Length()
+	if total == 0 {
+		return Polyline{pl[0]}
+	}
+	out := Polyline{pl[0]}
+	for pos := step; pos < total; pos += step {
+		out = append(out, pl.PointAt(pos))
+	}
+	out = append(out, pl[len(pl)-1])
+	return out
+}

@@ -1,0 +1,123 @@
+package landmark
+
+import (
+	"math"
+)
+
+// HITSConfig tunes significance inference.
+type HITSConfig struct {
+	MaxIters int
+	Epsilon  float64 // L1 convergence threshold
+}
+
+// DefaultHITSConfig converges comfortably on city-scale visit graphs.
+func DefaultHITSConfig() HITSConfig {
+	return HITSConfig{MaxIters: 60, Epsilon: 1e-9}
+}
+
+// InferSignificance runs the HITS-like algorithm of [26] on the bipartite
+// traveller↔landmark visit graph and stores each landmark's significance
+// (its normalized authority score, scaled so the most significant landmark
+// scores 1.0). Landmarks with no visits get significance 0.
+//
+// Iteration: authority(l) = Σ_{u→l} hub(u); hub(u) = Σ_{u→l} authority(l);
+// both vectors are L2-normalized each round. Multiple visits by the same
+// traveller reinforce the link, mirroring repeated check-ins.
+func (s *Set) InferSignificance(visits []Visit, cfg HITSConfig) {
+	n := len(s.all)
+	if n == 0 {
+		return
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = DefaultHITSConfig().MaxIters
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = DefaultHITSConfig().Epsilon
+	}
+
+	// Compact traveller indexing.
+	travellerIdx := map[int32]int{}
+	for _, v := range visits {
+		if _, ok := travellerIdx[v.Traveller]; !ok {
+			travellerIdx[v.Traveller] = len(travellerIdx)
+		}
+	}
+	m := len(travellerIdx)
+	if m == 0 {
+		for _, l := range s.all {
+			l.Significance = 0
+		}
+		return
+	}
+
+	type link struct{ u, l int }
+	links := make([]link, 0, len(visits))
+	for _, v := range visits {
+		if int(v.Landmark) < 0 || int(v.Landmark) >= n {
+			continue
+		}
+		links = append(links, link{u: travellerIdx[v.Traveller], l: int(v.Landmark)})
+	}
+
+	auth := make([]float64, n)
+	hub := make([]float64, m)
+	for i := range auth {
+		auth[i] = 1
+	}
+	for i := range hub {
+		hub[i] = 1
+	}
+	normalize := func(v []float64) {
+		var sum float64
+		for _, x := range v {
+			sum += x * x
+		}
+		norm := math.Sqrt(sum)
+		if norm == 0 {
+			return
+		}
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	prev := make([]float64, n)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		copy(prev, auth)
+		for i := range auth {
+			auth[i] = 0
+		}
+		for _, lk := range links {
+			auth[lk.l] += hub[lk.u]
+		}
+		normalize(auth)
+		for i := range hub {
+			hub[i] = 0
+		}
+		for _, lk := range links {
+			hub[lk.u] += auth[lk.l]
+		}
+		normalize(hub)
+		var delta float64
+		for i := range auth {
+			delta += math.Abs(auth[i] - prev[i])
+		}
+		if delta < cfg.Epsilon {
+			break
+		}
+	}
+
+	// Scale significance so the top landmark scores 1.
+	var maxAuth float64
+	for _, a := range auth {
+		if a > maxAuth {
+			maxAuth = a
+		}
+	}
+	for i, l := range s.all {
+		if maxAuth > 0 {
+			l.Significance = auth[i] / maxAuth
+		} else {
+			l.Significance = 0
+		}
+	}
+}

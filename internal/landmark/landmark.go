@@ -1,0 +1,194 @@
+// Package landmark models the geographical landmarks CrowdPlanner uses to
+// phrase crowd questions, and infers each landmark's significance — how
+// widely known it is — with the HITS-like algorithm the paper adopts from
+// Zheng et al. [26]: travellers are hubs, landmarks are authorities, and
+// check-ins / trajectory visits are the hyperlinks between them.
+package landmark
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdplanner/internal/geo"
+)
+
+// ID identifies a landmark.
+type ID int32
+
+// Kind distinguishes the geometric nature of a landmark (paper Definition 2:
+// a point of interest, a street, or a region).
+type Kind uint8
+
+// Landmark kinds.
+const (
+	PointKind Kind = iota
+	LineKind
+	RegionKind
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case PointKind:
+		return "point"
+	case LineKind:
+		return "line"
+	case RegionKind:
+		return "region"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Category loosely types a point landmark; categories skew simulated
+// check-in popularity (a stadium draws more visits than a substation).
+type Category uint8
+
+// Landmark categories.
+const (
+	CatGeneric Category = iota
+	CatMall
+	CatStadium
+	CatPark
+	CatSchool
+	CatHospital
+	CatStation
+	CatMuseum
+)
+
+var categoryNames = [...]string{
+	"generic", "mall", "stadium", "park", "school", "hospital", "station", "museum",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// basePopularity is the relative visit draw of each category.
+func (c Category) basePopularity() float64 {
+	switch c {
+	case CatMall:
+		return 6
+	case CatStadium:
+		return 8
+	case CatPark:
+		return 3
+	case CatSchool:
+		return 2
+	case CatHospital:
+		return 2.5
+	case CatStation:
+		return 5
+	case CatMuseum:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Landmark is a stable geographical object (paper Definition 2). Point
+// landmarks use Pt; lines and regions are abstracted by their anchor point
+// plus Extent (half-length of a line, radius of a region): the paper's task
+// generation only needs "is the landmark on/near the route", for which an
+// anchor + extent suffices.
+type Landmark struct {
+	ID       ID
+	Name     string
+	Kind     Kind
+	Category Category
+	Pt       geo.Point
+	Extent   float64 // meters; 0 for pure points
+
+	// Significance l.s in [0,1], filled in by InferSignificance.
+	Significance float64
+}
+
+// Set is an indexed collection of landmarks. Construct with NewSet.
+type Set struct {
+	all  []*Landmark
+	grid *geo.Grid
+}
+
+// NewSet indexes the given landmarks. The slice is retained.
+func NewSet(ls []*Landmark) *Set {
+	s := &Set{all: ls}
+	if len(ls) == 0 {
+		return s
+	}
+	b := geo.NewBBox(ls[0].Pt)
+	for _, l := range ls[1:] {
+		b = b.Extend(l.Pt)
+	}
+	b = b.Buffer(1)
+	cell := math.Max(b.Width(), b.Height()) / 48
+	if cell <= 0 {
+		cell = 1
+	}
+	s.grid = geo.NewGrid(b, cell)
+	for _, l := range ls {
+		s.grid.Insert(int32(l.ID), l.Pt)
+	}
+	return s
+}
+
+// Len returns the number of landmarks.
+func (s *Set) Len() int { return len(s.all) }
+
+// Get returns the landmark with the given ID, or nil.
+func (s *Set) Get(id ID) *Landmark {
+	if int(id) < 0 || int(id) >= len(s.all) {
+		return nil
+	}
+	return s.all[id]
+}
+
+// All returns the underlying slice; callers must not modify it.
+func (s *Set) All() []*Landmark { return s.all }
+
+// Within returns landmarks whose anchor lies within radius r of p, in
+// ascending ID order.
+func (s *Set) Within(p geo.Point, r float64) []*Landmark {
+	if s.grid == nil {
+		return nil
+	}
+	ids := s.grid.Within(p, r)
+	out := make([]*Landmark, len(ids))
+	for i, id := range ids {
+		out[i] = s.all[id]
+	}
+	return out
+}
+
+// Nearest returns the landmark closest to p, or nil for an empty set.
+func (s *Set) Nearest(p geo.Point) *Landmark {
+	if s.grid == nil || s.grid.Len() == 0 {
+		return nil
+	}
+	id, _, ok := s.grid.Nearest(p)
+	if !ok {
+		return nil
+	}
+	return s.all[id]
+}
+
+// TopBySignificance returns the n most significant landmarks, most
+// significant first (ties broken by ID).
+func (s *Set) TopBySignificance(n int) []*Landmark {
+	sorted := make([]*Landmark, len(s.all))
+	copy(sorted, s.all)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Significance != sorted[j].Significance {
+			return sorted[i].Significance > sorted[j].Significance
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

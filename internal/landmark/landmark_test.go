@@ -1,0 +1,230 @@
+package landmark
+
+import (
+	"math"
+	"testing"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+)
+
+func testGraph() *roadnet.Graph {
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Cols, cfg.Rows = 10, 10
+	cfg.Seed = 3
+	return roadnet.Generate(cfg)
+}
+
+func TestGenerateCountsAndKinds(t *testing.T) {
+	g := testGraph()
+	cfg := GenConfig{NumPoints: 50, NumLines: 5, NumRegions: 4, Seed: 1}
+	s := Generate(g, cfg)
+	if s.Len() != 59 {
+		t.Fatalf("Len = %d, want 59", s.Len())
+	}
+	kinds := map[Kind]int{}
+	for _, l := range s.All() {
+		kinds[l.Kind]++
+		if l.Kind != PointKind && l.Extent <= 0 {
+			t.Errorf("%v landmark %q should have extent", l.Kind, l.Name)
+		}
+	}
+	if kinds[PointKind] != 50 || kinds[LineKind] != 5 || kinds[RegionKind] != 4 {
+		t.Errorf("kind counts = %v", kinds)
+	}
+	// IDs must be dense and match slice positions.
+	for i, l := range s.All() {
+		if int(l.ID) != i {
+			t.Errorf("landmark %d has ID %d", i, l.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := testGraph()
+	cfg := DefaultGenConfig()
+	s1 := Generate(g, cfg)
+	s2 := Generate(g, cfg)
+	if s1.Len() != s2.Len() {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range s1.All() {
+		if s1.All()[i].Pt != s2.All()[i].Pt || s1.All()[i].Category != s2.All()[i].Category {
+			t.Fatalf("landmark %d differs", i)
+		}
+	}
+}
+
+func TestSetLookups(t *testing.T) {
+	ls := []*Landmark{
+		{ID: 0, Pt: geo.Point{X: 0, Y: 0}},
+		{ID: 1, Pt: geo.Point{X: 100, Y: 0}},
+		{ID: 2, Pt: geo.Point{X: 0, Y: 100}},
+	}
+	s := NewSet(ls)
+	if got := s.Get(1); got == nil || got.ID != 1 {
+		t.Errorf("Get(1) = %v", got)
+	}
+	if s.Get(-1) != nil || s.Get(99) != nil {
+		t.Error("out-of-range Get should be nil")
+	}
+	if got := s.Nearest(geo.Point{X: 90, Y: 5}); got == nil || got.ID != 1 {
+		t.Errorf("Nearest = %v", got)
+	}
+	within := s.Within(geo.Point{X: 0, Y: 0}, 100)
+	if len(within) != 3 {
+		t.Errorf("Within = %d landmarks", len(within))
+	}
+	within = s.Within(geo.Point{X: 0, Y: 0}, 50)
+	if len(within) != 1 || within[0].ID != 0 {
+		t.Errorf("Within(50) = %v", within)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := NewSet(nil)
+	if s.Len() != 0 {
+		t.Error("empty set should have Len 0")
+	}
+	if s.Nearest(geo.Point{}) != nil {
+		t.Error("Nearest on empty set should be nil")
+	}
+	if s.Within(geo.Point{}, 10) != nil {
+		t.Error("Within on empty set should be nil")
+	}
+	s.InferSignificance(nil, DefaultHITSConfig()) // must not panic
+}
+
+func TestTopBySignificance(t *testing.T) {
+	ls := []*Landmark{
+		{ID: 0, Significance: 0.2, Pt: geo.Point{X: 0}},
+		{ID: 1, Significance: 0.9, Pt: geo.Point{X: 1}},
+		{ID: 2, Significance: 0.5, Pt: geo.Point{X: 2}},
+		{ID: 3, Significance: 0.9, Pt: geo.Point{X: 3}},
+	}
+	s := NewSet(ls)
+	top := s.TopBySignificance(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].ID != 1 || top[1].ID != 3 || top[2].ID != 2 {
+		t.Errorf("order = %d,%d,%d", top[0].ID, top[1].ID, top[2].ID)
+	}
+	if got := s.TopBySignificance(100); len(got) != 4 {
+		t.Errorf("TopBySignificance(100) = %d", len(got))
+	}
+}
+
+func TestGenerateCheckinsSkew(t *testing.T) {
+	g := testGraph()
+	s := Generate(g, DefaultGenConfig())
+	visits := GenerateCheckins(s, g.BBox(), DefaultCheckinConfig())
+	if len(visits) < 1000 {
+		t.Fatalf("visits = %d, want >= 1000", len(visits))
+	}
+	// Category skew: stadiums+malls should out-draw generics per capita.
+	perCat := map[Category]int{}
+	catCount := map[Category]int{}
+	for _, l := range s.All() {
+		catCount[l.Category]++
+	}
+	for _, v := range visits {
+		perCat[s.Get(v.Landmark).Category]++
+	}
+	if catCount[CatStadium] > 0 && catCount[CatGeneric] > 0 {
+		stadiumRate := float64(perCat[CatStadium]) / float64(catCount[CatStadium])
+		genericRate := float64(perCat[CatGeneric]) / float64(catCount[CatGeneric])
+		if stadiumRate <= genericRate {
+			t.Errorf("stadium rate %v should exceed generic rate %v", stadiumRate, genericRate)
+		}
+	}
+}
+
+func TestGenerateCheckinsEmpty(t *testing.T) {
+	if v := GenerateCheckins(NewSet(nil), geo.BBox{}, DefaultCheckinConfig()); v != nil {
+		t.Error("no landmarks should yield no visits")
+	}
+}
+
+func TestInferSignificance(t *testing.T) {
+	// Star graph: landmark 0 visited by all travellers, landmark 1 by one,
+	// landmark 2 by none.
+	ls := []*Landmark{
+		{ID: 0, Pt: geo.Point{X: 0}},
+		{ID: 1, Pt: geo.Point{X: 1}},
+		{ID: 2, Pt: geo.Point{X: 2}},
+	}
+	s := NewSet(ls)
+	var visits []Visit
+	for u := int32(0); u < 10; u++ {
+		visits = append(visits, Visit{Traveller: u, Landmark: 0})
+	}
+	visits = append(visits, Visit{Traveller: 0, Landmark: 1})
+	s.InferSignificance(visits, DefaultHITSConfig())
+	if ls[0].Significance != 1 {
+		t.Errorf("top landmark significance = %v, want 1", ls[0].Significance)
+	}
+	if ls[1].Significance <= 0 || ls[1].Significance >= 1 {
+		t.Errorf("landmark 1 significance = %v, want in (0,1)", ls[1].Significance)
+	}
+	if ls[2].Significance != 0 {
+		t.Errorf("unvisited landmark significance = %v, want 0", ls[2].Significance)
+	}
+}
+
+func TestInferSignificanceReinforcement(t *testing.T) {
+	// Two landmarks with equal visit counts, but landmark 0's visitors are
+	// better-connected hubs; HITS should rank 0 at or above 1.
+	ls := []*Landmark{
+		{ID: 0, Pt: geo.Point{X: 0}},
+		{ID: 1, Pt: geo.Point{X: 1}},
+		{ID: 2, Pt: geo.Point{X: 2}},
+	}
+	s := NewSet(ls)
+	visits := []Visit{
+		{0, 0}, {1, 0}, // landmark 0: travellers 0,1
+		{2, 1}, {3, 1}, // landmark 1: travellers 2,3
+		{0, 2}, {1, 2}, // travellers 0,1 also visit the popular landmark 2
+	}
+	s.InferSignificance(visits, DefaultHITSConfig())
+	if ls[0].Significance < ls[1].Significance {
+		t.Errorf("hub-connected landmark should rank higher: %v vs %v",
+			ls[0].Significance, ls[1].Significance)
+	}
+}
+
+func TestInferSignificanceRange(t *testing.T) {
+	g := testGraph()
+	s := Generate(g, DefaultGenConfig())
+	visits := GenerateCheckins(s, g.BBox(), DefaultCheckinConfig())
+	s.InferSignificance(visits, DefaultHITSConfig())
+	var top float64
+	nonzero := 0
+	for _, l := range s.All() {
+		if l.Significance < 0 || l.Significance > 1 || math.IsNaN(l.Significance) {
+			t.Fatalf("significance out of range: %v", l.Significance)
+		}
+		if l.Significance > top {
+			top = l.Significance
+		}
+		if l.Significance > 0 {
+			nonzero++
+		}
+	}
+	if top != 1 {
+		t.Errorf("max significance = %v, want 1", top)
+	}
+	if nonzero < s.Len()/2 {
+		t.Errorf("only %d/%d landmarks have significance", nonzero, s.Len())
+	}
+}
+
+func TestKindCategoryStrings(t *testing.T) {
+	if PointKind.String() != "point" || LineKind.String() != "line" ||
+		RegionKind.String() != "region" || Kind(7).String() != "Kind(7)" {
+		t.Error("Kind.String mismatch")
+	}
+	if CatMall.String() != "mall" || Category(200).String() != "Category(200)" {
+		t.Error("Category.String mismatch")
+	}
+}

@@ -1,0 +1,77 @@
+package popular
+
+import (
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/traj"
+)
+
+// LDR recommends the Local Drivers' Route in the spirit of Ceikute & Jensen
+// [3]: drivers who repeatedly travel an OD pair are treated as local experts;
+// each expert's own most frequent route casts one vote, and the route with
+// the most expert votes wins. When no driver qualifies as an expert the
+// miner falls back to the plain mode over matching trips.
+type LDR struct {
+	// MatchRadius is how far (meters) a trip's endpoints may be from the
+	// requested endpoints and still count for this OD pair.
+	MatchRadius float64
+	// MinDriverTrips is the number of matching trips a driver needs to be
+	// considered a local expert.
+	MinDriverTrips int
+	// MinSupport is the minimum total matching trips below which the miner
+	// declares the region too sparse.
+	MinSupport int
+}
+
+// NewLDR returns an LDR miner with a 300 m endpoint radius.
+func NewLDR() *LDR {
+	return &LDR{MatchRadius: 300, MinDriverTrips: 2, MinSupport: 2}
+}
+
+// Name implements Miner.
+func (m *LDR) Name() string { return "LDR" }
+
+// Mine implements Miner.
+func (m *LDR) Mine(ds *traj.Dataset, from, to roadnet.NodeID, _ routing.SimTime) (roadnet.Route, float64, error) {
+	if err := validateOD(ds.Graph, from, to); err != nil {
+		return roadnet.Route{}, 0, err
+	}
+	trips := ds.TripsBetween(from, to, m.MatchRadius)
+	if len(trips) < m.MinSupport {
+		return roadnet.Route{}, 0, ErrNotEnoughData
+	}
+
+	// Group trips by driver.
+	byDriver := map[traj.DriverID][]roadnet.Route{}
+	for _, tr := range trips {
+		byDriver[tr.Driver] = append(byDriver[tr.Driver], tr.Route)
+	}
+
+	// Each local expert votes with their personal most frequent route.
+	var expertVotes []roadnet.Route
+	for _, routes := range byDriver {
+		if len(routes) < m.MinDriverTrips {
+			continue
+		}
+		personal, _, _ := modeRoute(routes)
+		if !personal.Empty() {
+			expertVotes = append(expertVotes, personal)
+		}
+	}
+
+	if len(expertVotes) > 0 {
+		route, votes, total := modeRoute(expertVotes)
+		return route, float64(votes) / float64(total), nil
+	}
+
+	// Fallback: mode over all matching trips.
+	var all []roadnet.Route
+	for _, tr := range trips {
+		all = append(all, tr.Route)
+	}
+	route, votes, total := modeRoute(all)
+	if route.Empty() {
+		return roadnet.Route{}, 0, ErrNotEnoughData
+	}
+	return route, float64(votes) / float64(total), nil
+}

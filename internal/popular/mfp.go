@@ -1,0 +1,154 @@
+package popular
+
+import (
+	"container/heap"
+	"math"
+
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/traj"
+)
+
+// MFP is the time-period Most Frequent Path miner in the spirit of Luo et
+// al. [13]: trips departing within a window of the query time contribute
+// footmarks to a frequency graph, and the recommended route maximizes the
+// minimum edge frequency along the path (the bottleneck), tie-broken by
+// shortest length. The paper's conclusion singles out MFP as the strongest
+// non-crowd source, which our E1 experiment reproduces.
+type MFP struct {
+	// WindowHours is the half-width of the departure-time window (circular
+	// over the day).
+	WindowHours float64
+	// MinBottleneck is the minimum acceptable path bottleneck frequency.
+	MinBottleneck int
+}
+
+// NewMFP returns an MFP miner with a ±2 h window.
+func NewMFP() *MFP { return &MFP{WindowHours: 2, MinBottleneck: 2} }
+
+// Name implements Miner.
+func (m *MFP) Name() string { return "MFP" }
+
+// Mine implements Miner.
+func (m *MFP) Mine(ds *traj.Dataset, from, to roadnet.NodeID, t routing.SimTime) (roadnet.Route, float64, error) {
+	if err := validateOD(ds.Graph, from, to); err != nil {
+		return roadnet.Route{}, 0, err
+	}
+	// Footmark graph restricted to the time window.
+	hour := t.HourOfDay()
+	freq := map[transferKey]int{}
+	for _, trip := range ds.Trips {
+		if hourDistance(trip.Depart.HourOfDay(), hour) > m.WindowHours {
+			continue
+		}
+		tripTransitions(trip.Route, func(a, b roadnet.NodeID) {
+			freq[transferKey{a, b}]++
+		})
+	}
+	if len(freq) == 0 {
+		return roadnet.Route{}, 0, ErrNotEnoughData
+	}
+
+	bottleneck := m.maxBottleneck(freq, from, to)
+	if bottleneck < m.MinBottleneck {
+		return roadnet.Route{}, 0, ErrNotEnoughData
+	}
+
+	// Among paths achieving the optimal bottleneck, prefer the shortest:
+	// Dijkstra by length restricted to edges with freq >= bottleneck.
+	route, err := m.shortestAtLeast(ds.Graph, freq, bottleneck, from, to)
+	if err != nil {
+		return roadnet.Route{}, 0, err
+	}
+	return route, float64(bottleneck), nil
+}
+
+// maxBottleneck computes the maximum over paths from→to of the minimum edge
+// frequency (a widest-path search). Returns 0 when unreachable.
+func (m *MFP) maxBottleneck(freq map[transferKey]int, from, to roadnet.NodeID) int {
+	adj := map[roadnet.NodeID][]transferKey{}
+	for k := range freq {
+		adj[k.from] = append(adj[k.from], k)
+	}
+	best := map[roadnet.NodeID]int{from: math.MaxInt}
+	done := map[roadnet.NodeID]bool{}
+	pq := &widestQueue{{node: from, width: math.MaxInt}}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(widestItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == to {
+			return it.width
+		}
+		for _, k := range adj[it.node] {
+			if done[k.to] {
+				continue
+			}
+			w := it.width
+			if f := freq[k]; f < w {
+				w = f
+			}
+			if old, ok := best[k.to]; !ok || w > old {
+				best[k.to] = w
+				heap.Push(pq, widestItem{node: k.to, width: w})
+			}
+		}
+	}
+	return 0
+}
+
+// shortestAtLeast finds the shortest (by meters) path using only transitions
+// with frequency >= minFreq.
+func (m *MFP) shortestAtLeast(g *roadnet.Graph, freq map[transferKey]int, minFreq int, from, to roadnet.NodeID) (roadnet.Route, error) {
+	allowed := map[transferKey]bool{}
+	for k, f := range freq {
+		if f >= minFreq {
+			allowed[k] = true
+		}
+	}
+	cost := func(e *roadnet.Edge, _ routing.SimTime) float64 {
+		if !allowed[transferKey{e.From, e.To}] {
+			return math.Inf(1)
+		}
+		return e.Length
+	}
+	// routing.ShortestPath treats +Inf edges as unusable because any path
+	// through them has infinite cost and the destination check rejects it.
+	r, total, err := routing.ShortestPath(g, from, to, cost, 0)
+	if err != nil {
+		return roadnet.Route{}, ErrNotEnoughData
+	}
+	if math.IsInf(total, 1) {
+		return roadnet.Route{}, ErrNotEnoughData
+	}
+	return r, nil
+}
+
+// widestItem is a priority-queue entry for the widest-path search.
+type widestItem struct {
+	node  roadnet.NodeID
+	width int
+}
+
+// widestQueue is a max-heap on width with node tie-break.
+type widestQueue []widestItem
+
+func (q widestQueue) Len() int { return len(q) }
+func (q widestQueue) Less(i, j int) bool {
+	if q[i].width != q[j].width {
+		return q[i].width > q[j].width
+	}
+	return q[i].node < q[j].node
+}
+func (q widestQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *widestQueue) Push(x any)   { *q = append(*q, x.(widestItem)) }
+func (q *widestQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,103 @@
+// Package popular implements the popular-route mining algorithms the paper
+// uses as candidate-route sources alongside web services: MPR (transfer-
+// network popularity, after Chen et al. ICDE'11 [4]), MFP (time-period most
+// frequent path, after Luo et al. SIGMOD'13 [13]) and LDR (local drivers'
+// routes, after Ceikute & Jensen MDM'13 [3]).
+//
+// Each miner consumes the historical trajectory corpus and proposes the
+// route it considers most popular between two nodes at a departure time.
+// All three deliberately disagree in edge cases — that disagreement is what
+// sends requests to the crowd.
+package popular
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/traj"
+)
+
+// ErrNotEnoughData is returned when the trajectory corpus cannot support a
+// recommendation for the requested OD pair (the sparse-region failure mode
+// the paper's introduction warns about).
+var ErrNotEnoughData = errors.New("popular: not enough trajectory data for this request")
+
+// Miner proposes a popular route between two nodes at a departure time.
+// Support is an algorithm-specific strength-of-evidence score; higher is
+// stronger. Implementations return ErrNotEnoughData when the corpus cannot
+// answer.
+type Miner interface {
+	Name() string
+	Mine(ds *traj.Dataset, from, to roadnet.NodeID, t routing.SimTime) (route roadnet.Route, support float64, err error)
+}
+
+// transferKey is a directed node pair.
+type transferKey struct {
+	from, to roadnet.NodeID
+}
+
+// tripTransitions iterates the consecutive node pairs of a matched route.
+func tripTransitions(r roadnet.Route, fn func(from, to roadnet.NodeID)) {
+	for i := 1; i < len(r.Nodes); i++ {
+		fn(r.Nodes[i-1], r.Nodes[i])
+	}
+}
+
+// modeRoute returns the most common route in rs (by exact node sequence),
+// its vote count, and the total number of votes. Ties break on the smaller
+// route string for determinism.
+func modeRoute(rs []roadnet.Route) (roadnet.Route, int, int) {
+	type bucket struct {
+		route roadnet.Route
+		votes int
+	}
+	counts := map[string]*bucket{}
+	total := 0
+	for _, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		total++
+		k := r.String()
+		if b, ok := counts[k]; ok {
+			b.votes++
+		} else {
+			counts[k] = &bucket{route: r, votes: 1}
+		}
+	}
+	var bestKey string
+	var best *bucket
+	for k, b := range counts {
+		if best == nil || b.votes > best.votes || (b.votes == best.votes && k < bestKey) {
+			best, bestKey = b, k
+		}
+	}
+	if best == nil {
+		return roadnet.Route{}, 0, 0
+	}
+	return best.route, best.votes, total
+}
+
+// hourDistance returns the circular distance in hours between two
+// hours-of-day.
+func hourDistance(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}
+
+// validateOD checks node IDs against the graph.
+func validateOD(g *roadnet.Graph, from, to roadnet.NodeID) error {
+	n := roadnet.NodeID(g.NumNodes())
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return fmt.Errorf("popular: node out of range (from=%d to=%d n=%d)", from, to, n)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package roadnet
+
+import (
+	"math/rand"
+
+	"crowdplanner/internal/geo"
+)
+
+// GenConfig configures the synthetic city generator. The zero value is not
+// useful; start from DefaultGenConfig.
+type GenConfig struct {
+	Cols, Rows   int     // grid dimensions in intersections
+	Spacing      float64 // meters between adjacent intersections
+	Jitter       float64 // max random perturbation of node positions, meters
+	ArterialEach int     // every k-th row/column is an arterial; 0 disables
+	HighwayRing  bool    // add a high-speed ring around the city
+	RemoveProb   float64 // probability of deleting a local road segment
+	LightProb    float64 // probability a local/collector segment has a light
+	ArtLightProb float64 // probability an arterial segment has a light
+	Seed         int64
+}
+
+// DefaultGenConfig returns a mid-size city: a 20x20 jittered grid (400
+// intersections) with arterials every 5 blocks and a highway ring.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Cols: 20, Rows: 20,
+		Spacing:      250,
+		Jitter:       30,
+		ArterialEach: 5,
+		HighwayRing:  true,
+		RemoveProb:   0.06,
+		LightProb:    0.35,
+		ArtLightProb: 0.6,
+		Seed:         1,
+	}
+}
+
+// Generate builds a synthetic city road network. The generated network is
+// connected (removal never disconnects the grid: segments adjacent to the
+// border or on arterials are kept) and deterministic for a given config.
+func Generate(cfg GenConfig) *Graph {
+	if cfg.Cols < 2 || cfg.Rows < 2 {
+		panic("roadnet: Generate requires at least a 2x2 grid")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph(cfg.Cols*cfg.Rows+2*(cfg.Cols+cfg.Rows), cfg.Cols*cfg.Rows*4)
+
+	// Lay out the jittered grid of intersections.
+	ids := make([][]NodeID, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		ids[r] = make([]NodeID, cfg.Cols)
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter
+			p := geo.Point{
+				X: float64(c)*cfg.Spacing + jx,
+				Y: float64(r)*cfg.Spacing + jy,
+			}
+			ids[r][c] = g.AddNode(p)
+		}
+	}
+
+	isArtRow := func(r int) bool {
+		return cfg.ArterialEach > 0 && r%cfg.ArterialEach == 0
+	}
+	isArtCol := func(c int) bool {
+		return cfg.ArterialEach > 0 && c%cfg.ArterialEach == 0
+	}
+
+	addSegment := func(a, b NodeID, art bool, border bool) {
+		class := Local
+		lightP := cfg.LightProb
+		if art {
+			class = Arterial
+			lightP = cfg.ArtLightProb
+		}
+		// Local segments in the interior may be removed to create the gaps,
+		// dead ends and detours real cities have. Border and arterial
+		// segments always survive, which keeps the graph connected.
+		if !art && !border && rng.Float64() < cfg.RemoveProb {
+			return
+		}
+		lights := 0
+		if rng.Float64() < lightP {
+			lights = 1
+		}
+		g.AddRoad(a, b, class, 0, lights)
+	}
+
+	// Horizontal segments.
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c+1 < cfg.Cols; c++ {
+			border := r == 0 || r == cfg.Rows-1
+			addSegment(ids[r][c], ids[r][c+1], isArtRow(r), border)
+		}
+	}
+	// Vertical segments.
+	for r := 0; r+1 < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			border := c == 0 || c == cfg.Cols-1
+			addSegment(ids[r][c], ids[r+1][c], isArtCol(c), border)
+		}
+	}
+
+	if cfg.HighwayRing {
+		addHighwayRing(g, ids, cfg)
+	}
+	return g
+}
+
+// addHighwayRing surrounds the grid with a rectangular highway connected to
+// the border arterial intersections via short ramps.
+func addHighwayRing(g *Graph, ids [][]NodeID, cfg GenConfig) {
+	rows, cols := len(ids), len(ids[0])
+	off := cfg.Spacing * 1.2
+
+	// Ring nodes alongside each border intersection that sits on an arterial
+	// (or the corners), connected consecutively.
+	type ramp struct {
+		ring NodeID
+		city NodeID
+	}
+	var ramps []ramp
+	addRing := func(city NodeID, dx, dy float64) {
+		p := g.Node(city).Pt
+		ringID := g.AddNode(geo.Point{X: p.X + dx, Y: p.Y + dy})
+		ramps = append(ramps, ramp{ring: ringID, city: city})
+	}
+	every := cfg.ArterialEach
+	if every <= 0 {
+		every = 5
+	}
+	// Ramp positions along one side: every k-th intersection plus always the
+	// far corner, so consecutive ring nodes trace the rectangle instead of
+	// cutting diagonally across the city.
+	positions := func(n int) []int {
+		var ps []int
+		for i := 0; i < n; i += every {
+			ps = append(ps, i)
+		}
+		if ps[len(ps)-1] != n-1 {
+			ps = append(ps, n-1)
+		}
+		return ps
+	}
+	reverse := func(ps []int) []int {
+		out := make([]int, len(ps))
+		for i, v := range ps {
+			out[len(ps)-1-i] = v
+		}
+		return out
+	}
+	// Bottom edge (left→right), right edge (bottom→top), top (right→left),
+	// left (top→bottom) to form a loop in order.
+	for _, c := range positions(cols) {
+		addRing(ids[0][c], 0, -off)
+	}
+	for _, r := range positions(rows) {
+		addRing(ids[r][cols-1], off, 0)
+	}
+	for _, c := range reverse(positions(cols)) {
+		addRing(ids[rows-1][c], 0, off)
+	}
+	for _, r := range reverse(positions(rows)) {
+		addRing(ids[r][0], -off, 0)
+	}
+	for i := range ramps {
+		next := ramps[(i+1)%len(ramps)]
+		g.AddRoad(ramps[i].ring, next.ring, Highway, 0, 0)
+		g.AddRoad(ramps[i].ring, ramps[i].city, Collector, 0, 0)
+	}
+}

@@ -1,0 +1,163 @@
+package roadnet
+
+import (
+	"fmt"
+	"strings"
+
+	"crowdplanner/internal/geo"
+)
+
+// Route is a continuous travelling path, represented — exactly as in the
+// paper's Definition 1 — by the sequence of consecutive road intersections
+// from source to destination.
+type Route struct {
+	Nodes []NodeID
+}
+
+// NewRoute returns a route over the given nodes. The caller retains
+// ownership of the slice.
+func NewRoute(nodes ...NodeID) Route { return Route{Nodes: nodes} }
+
+// Empty reports whether the route has fewer than 2 nodes (no edges).
+func (r Route) Empty() bool { return len(r.Nodes) < 2 }
+
+// Source returns the first node; it panics on a node-less route.
+func (r Route) Source() NodeID { return r.Nodes[0] }
+
+// Dest returns the last node; it panics on a node-less route.
+func (r Route) Dest() NodeID { return r.Nodes[len(r.Nodes)-1] }
+
+// String implements fmt.Stringer.
+func (r Route) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, n := range r.Nodes {
+		if i > 0 {
+			sb.WriteString("→")
+		}
+		fmt.Fprintf(&sb, "%d", n)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Equal reports whether two routes visit exactly the same node sequence.
+func (r Route) Equal(o Route) bool {
+	if len(r.Nodes) != len(o.Nodes) {
+		return false
+	}
+	for i := range r.Nodes {
+		if r.Nodes[i] != o.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the route.
+func (r Route) Clone() Route {
+	n := make([]NodeID, len(r.Nodes))
+	copy(n, r.Nodes)
+	return Route{Nodes: n}
+}
+
+// Valid reports whether every consecutive node pair is connected by an edge
+// in g and the route has at least one edge.
+func (r Route) Valid(g *Graph) bool {
+	if r.Empty() {
+		return false
+	}
+	for i := 1; i < len(r.Nodes); i++ {
+		if _, ok := g.FindEdge(r.Nodes[i-1], r.Nodes[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Edges returns the edge IDs traversed by the route in order. Missing edges
+// are reported as an error.
+func (r Route) Edges(g *Graph) ([]EdgeID, error) {
+	if r.Empty() {
+		return nil, fmt.Errorf("roadnet: route %v has no edges", r)
+	}
+	out := make([]EdgeID, 0, len(r.Nodes)-1)
+	for i := 1; i < len(r.Nodes); i++ {
+		eid, ok := g.FindEdge(r.Nodes[i-1], r.Nodes[i])
+		if !ok {
+			return nil, fmt.Errorf("roadnet: no edge %d→%d in route", r.Nodes[i-1], r.Nodes[i])
+		}
+		out = append(out, eid)
+	}
+	return out, nil
+}
+
+// Length returns the total length of the route in meters. Node pairs without
+// a connecting edge contribute straight-line distance; this makes Length
+// total and safe for slightly out-of-sync data.
+func (r Route) Length(g *Graph) float64 {
+	var total float64
+	for i := 1; i < len(r.Nodes); i++ {
+		if eid, ok := g.FindEdge(r.Nodes[i-1], r.Nodes[i]); ok {
+			total += g.Edge(eid).Length
+		} else {
+			total += geo.Dist(g.Node(r.Nodes[i-1]).Pt, g.Node(r.Nodes[i]).Pt)
+		}
+	}
+	return total
+}
+
+// Lights returns the number of traffic lights encountered along the route.
+func (r Route) Lights(g *Graph) int {
+	var total int
+	for i := 1; i < len(r.Nodes); i++ {
+		if eid, ok := g.FindEdge(r.Nodes[i-1], r.Nodes[i]); ok {
+			total += g.Edge(eid).Lights
+		}
+	}
+	return total
+}
+
+// Polyline returns the geometry of the route.
+func (r Route) Polyline(g *Graph) geo.Polyline {
+	pl := make(geo.Polyline, len(r.Nodes))
+	for i, n := range r.Nodes {
+		pl[i] = g.Node(n).Pt
+	}
+	return pl
+}
+
+// edgeSet returns the set of undirected node pairs traversed, encoded as
+// int64 keys. Used by similarity.
+func (r Route) edgeSet() map[int64]struct{} {
+	s := make(map[int64]struct{}, len(r.Nodes))
+	for i := 1; i < len(r.Nodes); i++ {
+		a, b := r.Nodes[i-1], r.Nodes[i]
+		if a > b {
+			a, b = b, a
+		}
+		s[int64(a)<<32|int64(uint32(b))] = struct{}{}
+	}
+	return s
+}
+
+// Similarity returns the Jaccard similarity of the undirected edge sets of
+// the two routes, in [0,1]. Two empty routes are fully similar.
+func (r Route) Similarity(o Route) float64 {
+	a := r.edgeSet()
+	b := o.edgeSet()
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,69 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"crowdplanner/internal/geo"
+)
+
+// jsonGraph is the wire form of a Graph.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type jsonEdge struct {
+	From   NodeID    `json:"from"`
+	To     NodeID    `json:"to"`
+	Length float64   `json:"len"`
+	Class  RoadClass `json:"class"`
+	Speed  float64   `json:"speed"`
+	Lights int       `json:"lights"`
+}
+
+// Write serializes the graph as JSON. The format is stable and versioned
+// implicitly by field names.
+func (g *Graph) Write(w io.Writer) error {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, len(g.nodes)),
+		Edges: make([]jsonEdge, len(g.edges)),
+	}
+	for i, n := range g.nodes {
+		jg.Nodes[i] = jsonNode{X: n.Pt.X, Y: n.Pt.Y}
+	}
+	for i, e := range g.edges {
+		jg.Edges[i] = jsonEdge{
+			From: e.From, To: e.To, Length: e.Length,
+			Class: e.Class, Speed: e.SpeedKmh, Lights: e.Lights,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jg)
+}
+
+// ReadFrom deserializes a graph written by Write.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("roadnet: decode graph: %w", err)
+	}
+	g := NewGraph(len(jg.Nodes), len(jg.Edges))
+	for _, n := range jg.Nodes {
+		g.AddNode(geo.Point{X: n.X, Y: n.Y})
+	}
+	for i, e := range jg.Edges {
+		if int(e.From) >= len(jg.Nodes) || int(e.To) >= len(jg.Nodes) || e.From < 0 || e.To < 0 {
+			return nil, fmt.Errorf("roadnet: edge %d references unknown node", i)
+		}
+		g.AddEdge(e.From, e.To, e.Class, e.Speed, e.Lights, e.Length)
+	}
+	return g, nil
+}

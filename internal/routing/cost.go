@@ -1,0 +1,45 @@
+package routing
+
+import (
+	"crowdplanner/internal/roadnet"
+)
+
+// CostFunc assigns a non-negative cost to traversing an edge when departing
+// at time t. Route search minimizes the sum of edge costs. Implementations
+// must be deterministic for a (edge, t) pair.
+type CostFunc func(e *roadnet.Edge, t SimTime) float64
+
+// DistanceCost returns edge length in meters. Minimizing it yields the
+// shortest route, the first of the two web-service-style providers.
+func DistanceCost(e *roadnet.Edge, _ SimTime) float64 { return e.Length }
+
+// lightPenaltyMinutes is the expected delay per traffic light used by the
+// travel-time model.
+const lightPenaltyMinutes = 0.5
+
+// TravelTimeCost returns the expected traversal time of the edge in minutes
+// at departure time t, including congestion and traffic-light delay.
+// Minimizing it yields the fastest route, the second web-service provider.
+func TravelTimeCost(e *roadnet.Edge, t SimTime) float64 {
+	major := e.Class >= roadnet.Arterial
+	factor := CongestionFactor(t.HourOfDay(), major)
+	return e.BaseTravelMinutes()*factor + float64(e.Lights)*lightPenaltyMinutes
+}
+
+// TravelMinutes returns the total expected travel time of route r in minutes
+// departing at t, advancing the clock edge by edge so congestion evolves
+// along the trip.
+func TravelMinutes(g *roadnet.Graph, r roadnet.Route, depart SimTime) float64 {
+	var total float64
+	now := depart
+	for i := 1; i < len(r.Nodes); i++ {
+		eid, ok := g.FindEdge(r.Nodes[i-1], r.Nodes[i])
+		if !ok {
+			continue
+		}
+		dt := TravelTimeCost(g.Edge(eid), now)
+		total += dt
+		now = now.Add(dt)
+	}
+	return total
+}

@@ -1,0 +1,165 @@
+package routing
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+)
+
+// ErrNoRoute is returned when the destination is unreachable from the source.
+var ErrNoRoute = errors.New("routing: no route between the given nodes")
+
+// pqItem is a priority-queue entry for Dijkstra/A*.
+type pqItem struct {
+	node roadnet.NodeID
+	prio float64
+	idx  int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool {
+	if pq[i].prio != pq[j].prio {
+		return pq[i].prio < pq[j].prio
+	}
+	return pq[i].node < pq[j].node // deterministic tie-break
+}
+func (pq priorityQueue) Swap(i, j int) {
+	pq[i], pq[j] = pq[j], pq[i]
+	pq[i].idx = i
+	pq[j].idx = j
+}
+func (pq *priorityQueue) Push(x any) {
+	it := x.(*pqItem)
+	it.idx = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// banSet marks nodes and edges excluded from a search; used by Yen's
+// algorithm for spur computations. A nil *banSet bans nothing.
+type banSet struct {
+	nodes map[roadnet.NodeID]bool
+	edges map[roadnet.EdgeID]bool
+}
+
+func (b *banSet) bansNode(n roadnet.NodeID) bool { return b != nil && b.nodes[n] }
+func (b *banSet) bansEdge(e roadnet.EdgeID) bool { return b != nil && b.edges[e] }
+
+// ShortestPath returns the minimum-cost route from src to dst under cost,
+// departing at time t, along with the total cost.
+func ShortestPath(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime) (roadnet.Route, float64, error) {
+	return shortest(g, src, dst, cost, t, nil, nil)
+}
+
+// AStar returns the same result as ShortestPath but uses the straight-line
+// distance heuristic. The heuristic is only admissible for cost functions
+// whose per-meter cost is at least minCostPerMeter; pass 0 to fall back to
+// plain Dijkstra.
+func AStar(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, minCostPerMeter float64) (roadnet.Route, float64, error) {
+	if minCostPerMeter <= 0 {
+		return shortest(g, src, dst, cost, t, nil, nil)
+	}
+	dstPt := g.Node(dst).Pt
+	h := func(n roadnet.NodeID) float64 {
+		return geo.Dist(g.Node(n).Pt, dstPt) * minCostPerMeter
+	}
+	return shortest(g, src, dst, cost, t, h, nil)
+}
+
+// shortest is the shared Dijkstra/A* core. h may be nil (Dijkstra); ban may
+// be nil (no exclusions).
+func shortest(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, h func(roadnet.NodeID) float64, ban *banSet) (roadnet.Route, float64, error) {
+	n := g.NumNodes()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return roadnet.Route{}, 0, errors.New("routing: node out of range")
+	}
+	if ban.bansNode(src) || ban.bansNode(dst) {
+		return roadnet.Route{}, 0, ErrNoRoute
+	}
+	if src == dst {
+		return roadnet.NewRoute(src), 0, nil
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]roadnet.NodeID, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	done := make([]bool, n)
+
+	dist[src] = 0
+	pq := priorityQueue{}
+	heap.Init(&pq)
+	start := &pqItem{node: src, prio: 0}
+	if h != nil {
+		start.prio = h(src)
+	}
+	heap.Push(&pq, start)
+
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(*pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, eid := range g.Out(u) {
+			if ban.bansEdge(eid) {
+				continue
+			}
+			e := g.Edge(eid)
+			v := e.To
+			if done[v] || ban.bansNode(v) {
+				continue
+			}
+			c := cost(e, t.Add(dist[u]))
+			if c < 0 {
+				c = 0
+			}
+			nd := dist[u] + c
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				prio := nd
+				if h != nil {
+					prio += h(v)
+				}
+				heap.Push(&pq, &pqItem{node: v, prio: prio})
+			}
+		}
+	}
+
+	if math.IsInf(dist[dst], 1) {
+		return roadnet.Route{}, 0, ErrNoRoute
+	}
+	// Reconstruct.
+	var rev []roadnet.NodeID
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	nodes := make([]roadnet.NodeID, len(rev))
+	for i, nd := range rev {
+		nodes[len(rev)-1-i] = nd
+	}
+	return roadnet.Route{Nodes: nodes}, dist[dst], nil
+}

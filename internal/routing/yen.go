@@ -1,0 +1,123 @@
+package routing
+
+import (
+	"sort"
+
+	"crowdplanner/internal/roadnet"
+)
+
+// KShortest returns up to k loopless minimum-cost routes from src to dst in
+// increasing cost order, using Yen's algorithm. It returns ErrNoRoute when
+// not even one route exists. The routes are distinct node sequences.
+func KShortest(g *roadnet.Graph, src, dst roadnet.NodeID, k int, cost CostFunc, t SimTime) ([]roadnet.Route, []float64, error) {
+	if k <= 0 {
+		return nil, nil, nil
+	}
+	best, bestCost, err := ShortestPath(g, src, dst, cost, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	routes := []roadnet.Route{best}
+	costs := []float64{bestCost}
+
+	type candidate struct {
+		route roadnet.Route
+		cost  float64
+	}
+	var cands []candidate
+
+	seen := map[string]bool{routeKey(best): true}
+
+	for len(routes) < k {
+		prevRoute := routes[len(routes)-1]
+		// Spur from every node of the previous route except the last.
+		for i := 0; i < len(prevRoute.Nodes)-1; i++ {
+			spurNode := prevRoute.Nodes[i]
+			rootNodes := prevRoute.Nodes[:i+1]
+
+			ban := &banSet{
+				nodes: make(map[roadnet.NodeID]bool),
+				edges: make(map[roadnet.EdgeID]bool),
+			}
+			// Ban edges that would recreate an already-found route sharing
+			// this root.
+			for _, r := range routes {
+				if len(r.Nodes) > i && equalPrefix(r.Nodes, rootNodes) {
+					if eid, ok := g.FindEdge(r.Nodes[i], r.Nodes[i+1]); ok {
+						ban.edges[eid] = true
+					}
+				}
+			}
+			// Ban root nodes (except the spur node) to keep routes loopless.
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				ban.nodes[n] = true
+			}
+
+			spurRoute, spurCost, err := shortest(g, spurNode, dst, cost, t, nil, ban)
+			if err != nil {
+				continue
+			}
+			total := make([]roadnet.NodeID, 0, i+len(spurRoute.Nodes))
+			total = append(total, rootNodes[:i]...)
+			total = append(total, spurRoute.Nodes...)
+			cand := roadnet.Route{Nodes: total}
+			key := routeKey(cand)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// Cost of root prefix plus spur. Recompute the prefix under the
+			// same departure time; for time-dependent costs this is an
+			// approximation, consistent with how Yen is normally applied.
+			rootCost := prefixCost(g, rootNodes, cost, t)
+			cands = append(cands, candidate{route: cand, cost: rootCost + spurCost})
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].cost != cands[b].cost {
+				return cands[a].cost < cands[b].cost
+			}
+			return routeKey(cands[a].route) < routeKey(cands[b].route)
+		})
+		next := cands[0]
+		cands = cands[1:]
+		routes = append(routes, next.route)
+		costs = append(costs, next.cost)
+	}
+	return routes, costs, nil
+}
+
+// prefixCost sums edge costs along nodes (which includes the spur node as its
+// last element, contributing no edge).
+func prefixCost(g *roadnet.Graph, nodes []roadnet.NodeID, cost CostFunc, t SimTime) float64 {
+	var total float64
+	for i := 1; i < len(nodes); i++ {
+		if eid, ok := g.FindEdge(nodes[i-1], nodes[i]); ok {
+			total += cost(g.Edge(eid), t.Add(total))
+		}
+	}
+	return total
+}
+
+func equalPrefix(nodes, prefix []roadnet.NodeID) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// routeKey renders a route as a compact string key for dedup maps.
+func routeKey(r roadnet.Route) string {
+	b := make([]byte, 0, len(r.Nodes)*4)
+	for _, n := range r.Nodes {
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return string(b)
+}

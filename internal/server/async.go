@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/worker"
+)
+
+// Async endpoints implement the paper's client protocol: the server
+// publishes tasks, the assigned workers' clients poll for open questions
+// and submit answers, and the task resolves when the early-stop component
+// is confident.
+//
+//	POST /api/recommend/async          — resolve via TR or publish a task
+//	GET  /api/tasks/{id}               — task state (and result once closed)
+//	POST /api/tasks/{id}/answer        — submit one worker's answer
+//	POST /api/tasks/{id}/expire        — force-close on deadline
+//	GET  /api/workers/{id}/tasks       — open questions for a worker
+func (s *Server) registerAsync() {
+	s.mux.HandleFunc("POST /api/recommend/async", s.handleRecommendAsync)
+	s.mux.HandleFunc("GET /api/tasks/{id}", s.handleTaskState)
+	s.mux.HandleFunc("POST /api/tasks/{id}/answer", s.handleTaskAnswer)
+	s.mux.HandleFunc("POST /api/tasks/{id}/expire", s.handleTaskExpire)
+	s.mux.HandleFunc("GET /api/workers/{id}/tasks", s.handleWorkerTasks)
+}
+
+// AsyncRecommendResponse is the POST /api/recommend/async reply: either a
+// resolved recommendation or a published task ticket.
+type AsyncRecommendResponse struct {
+	Resolved *RecommendResponse `json:"resolved,omitempty"`
+	Ticket   *TicketInfo        `json:"ticket,omitempty"`
+}
+
+// TicketInfo describes a published (pending) task.
+type TicketInfo struct {
+	TaskID          int64   `json:"task_id"`
+	State           string  `json:"state"`
+	CurrentQuestion *int32  `json:"current_question,omitempty"` // landmark ID
+	AssignedWorkers []int32 `json:"assigned_workers"`
+}
+
+func ticketInfo(p *core.PendingTask) *TicketInfo {
+	ti := &TicketInfo{TaskID: p.ID, State: p.State.String()}
+	if lm, ok := p.CurrentQuestion(); ok {
+		v := int32(lm)
+		ti.CurrentQuestion = &v
+	}
+	for _, r := range p.Assigned {
+		ti.AssignedWorkers = append(ti.AssignedWorkers, int32(r.Worker.ID))
+	}
+	return ti
+}
+
+func (s *Server) recommendResponse(resp *core.Response, depart float64) *RecommendResponse {
+	out := &RecommendResponse{
+		Route:      resp.Route.Nodes,
+		Stage:      resp.Stage.String(),
+		Confidence: resp.Confidence,
+		LengthM:    resp.Route.Length(s.sys.Graph()),
+		TravelMin:  routing.TravelMinutes(s.sys.Graph(), resp.Route, routing.SimTime(depart)),
+	}
+	for _, c := range resp.Candidates {
+		out.Candidates = append(out.Candidates, CandidateInfo{
+			Source:  c.Source,
+			Nodes:   len(c.Route.Nodes),
+			LengthM: c.Route.Length(s.sys.Graph()),
+			Prior:   c.Prior,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleRecommendAsync(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	resp, ticket, err := s.sys.RecommendAsync(core.Request{
+		From: req.From, To: req.To,
+		Depart:      routing.SimTime(req.DepartMin),
+		DeadlineMin: req.DeadlineMin,
+	})
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, core.ErrBadRequest) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	out := AsyncRecommendResponse{}
+	if resp != nil {
+		out.Resolved = s.recommendResponse(resp, req.DepartMin)
+	} else {
+		out.Ticket = ticketInfo(ticket)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) taskFromPath(w http.ResponseWriter, r *http.Request) (*core.PendingTask, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad task id %q", r.PathValue("id"))
+		return nil, false
+	}
+	p, ok := s.sys.PendingTask(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown task %d", id)
+		return nil, false
+	}
+	return p, true
+}
+
+// TaskStateResponse is the GET /api/tasks/{id} reply.
+type TaskStateResponse struct {
+	Ticket *TicketInfo        `json:"ticket"`
+	Result *RecommendResponse `json:"result,omitempty"`
+}
+
+func (s *Server) handleTaskState(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	out := TaskStateResponse{Ticket: ticketInfo(p)}
+	if p.Result != nil {
+		out.Result = s.recommendResponse(p.Result, float64(p.Req.Depart))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// AnswerRequest is the POST /api/tasks/{id}/answer body.
+type AnswerRequest struct {
+	Worker int32 `json:"worker"`
+	Yes    bool  `json:"yes"`
+}
+
+// AnswerResponse is its reply.
+type AnswerResponse struct {
+	State    string             `json:"state"`
+	Resolved *RecommendResponse `json:"resolved,omitempty"`
+}
+
+func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	resp, err := s.sys.SubmitAnswer(p.ID, worker.ID(req.Worker), req.Yes)
+	switch {
+	case errors.Is(err, core.ErrTaskClosed), errors.Is(err, core.ErrAlreadyAnswer):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, core.ErrNotAssigned):
+		httpError(w, http.StatusForbidden, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	out := AnswerResponse{State: p.State.String()}
+	if resp != nil {
+		out.Resolved = s.recommendResponse(resp, float64(p.Req.Depart))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTaskExpire(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.taskFromPath(w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.sys.ExpireTask(p.ID)
+	if errors.Is(err, core.ErrTaskClosed) {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AnswerResponse{
+		State:    p.State.String(),
+		Resolved: s.recommendResponse(resp, float64(p.Req.Depart)),
+	})
+}
+
+// WorkerTaskInfo is one open question for a worker.
+type WorkerTaskInfo struct {
+	TaskID   int64 `json:"task_id"`
+	Landmark int32 `json:"landmark"`
+}
+
+func (s *Server) handleWorkerTasks(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad worker id %q", r.PathValue("id"))
+		return
+	}
+	out := []WorkerTaskInfo{}
+	for _, p := range s.sys.PendingTasks(worker.ID(id)) {
+		if lm, ok := p.CurrentQuestion(); ok {
+			out = append(out, WorkerTaskInfo{TaskID: p.ID, Landmark: int32(lm)})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

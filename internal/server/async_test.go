@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"crowdplanner/internal/calibrate"
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/landmark"
+)
+
+// asyncServer builds a crowd-forced system so async requests always publish
+// tickets, on its own httptest server.
+func asyncServer(t *testing.T) (*httptest.Server, *core.Scenario, *core.System) {
+	t.Helper()
+	_, w := testServer(t) // reuse the shared scenario world
+	cfg := w.System.Config()
+	cfg.AgreementSim = 1.01
+	cfg.EtaConfidence = 1.01
+	cfg.ReuseTruth = false
+	sys := core.New(cfg, w.Graph, w.Landmarks, w.Data, w.Pool,
+		&core.PopulationOracle{Data: w.Data, Sample: 30})
+	srv := httptest.NewServer(New(sys).Handler())
+	t.Cleanup(srv.Close)
+	return srv, w, sys
+}
+
+func TestAsyncHTTPLifecycle(t *testing.T) {
+	srv, w, sys := asyncServer(t)
+	trip := w.Data.Trips[0]
+
+	// 1. Publish.
+	reqBody, _ := json.Marshal(RecommendRequest{
+		From: trip.Route.Source(), To: trip.Route.Dest(), DepartMin: float64(trip.Depart),
+	})
+	resp := postJSON(t, srv.URL+"/api/recommend/async", json.RawMessage(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("publish status = %d", resp.StatusCode)
+	}
+	out := decode[AsyncRecommendResponse](t, resp)
+	if out.Ticket == nil {
+		t.Skipf("TR resolved directly (stage %v)", out.Resolved.Stage)
+	}
+	ticket := out.Ticket
+	if ticket.State != "open" || ticket.CurrentQuestion == nil || len(ticket.AssignedWorkers) == 0 {
+		t.Fatalf("bad ticket %+v", ticket)
+	}
+
+	// 2. The assigned workers see the question.
+	wt := decode[[]WorkerTaskInfo](t, mustGet(t,
+		fmt.Sprintf("%s/api/workers/%d/tasks", srv.URL, ticket.AssignedWorkers[0])))
+	found := false
+	for _, info := range wt {
+		if info.TaskID == ticket.TaskID {
+			found = true
+			if info.Landmark != *ticket.CurrentQuestion {
+				t.Errorf("worker sees landmark %d, ticket says %d", info.Landmark, *ticket.CurrentQuestion)
+			}
+		}
+	}
+	if !found {
+		t.Error("assigned worker does not see the open task")
+	}
+
+	// 3. Everyone answers truthfully until resolution.
+	oracleRoute, err := (&core.PopulationOracle{Data: w.Data, Sample: 30}).
+		BestRoute(trip.Route.Source(), trip.Route.Dest(), trip.Depart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := calibrate.Calibrate(w.Graph, w.Landmarks, oracleRoute, sys.Config().Calibrate)
+	truthSet := lr.IDSet()
+
+	var resolved *RecommendResponse
+	for round := 0; round < 200 && resolved == nil; round++ {
+		state := decode[TaskStateResponse](t, mustGet(t,
+			fmt.Sprintf("%s/api/tasks/%d", srv.URL, ticket.TaskID)))
+		if state.Ticket.State != "open" {
+			resolved = state.Result
+			break
+		}
+		lm := *state.Ticket.CurrentQuestion
+		answered := false
+		for _, wid := range state.Ticket.AssignedWorkers {
+			body, _ := json.Marshal(AnswerRequest{
+				Worker: wid,
+				Yes:    truthSet[landmark.ID(lm)],
+			})
+			r, err := http.Post(
+				fmt.Sprintf("%s/api/tasks/%d/answer", srv.URL, ticket.TaskID),
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.StatusCode == http.StatusConflict {
+				r.Body.Close()
+				continue // already answered or question advanced
+			}
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("answer status = %d", r.StatusCode)
+			}
+			ans := decode[AnswerResponse](t, r)
+			answered = true
+			if ans.Resolved != nil {
+				resolved = ans.Resolved
+				break
+			}
+			// Question may have advanced: refresh state.
+			break
+		}
+		if !answered {
+			t.Fatal("no answer accepted while task open")
+		}
+	}
+	if resolved == nil {
+		t.Fatal("task never resolved over HTTP")
+	}
+	if resolved.Stage != "crowd" || len(resolved.Route) < 2 {
+		t.Errorf("resolved = %+v", resolved)
+	}
+}
+
+func TestAsyncHTTPValidation(t *testing.T) {
+	srv, _, _ := asyncServer(t)
+	// Unknown task.
+	r := mustGet(t, srv.URL+"/api/tasks/99999")
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown task status = %d", r.StatusCode)
+	}
+	// Bad task id.
+	r = mustGet(t, srv.URL+"/api/tasks/abc")
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", r.StatusCode)
+	}
+	// Bad worker id.
+	r = mustGet(t, srv.URL+"/api/workers/xyz/tasks")
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad worker status = %d", r.StatusCode)
+	}
+	// Unknown worker has no tasks (empty list, 200).
+	r = mustGet(t, srv.URL+"/api/workers/424242/tasks")
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("unknown worker status = %d", r.StatusCode)
+	}
+	var tasks []WorkerTaskInfo
+	_ = json.NewDecoder(r.Body).Decode(&tasks)
+	r.Body.Close()
+	if len(tasks) != 0 {
+		t.Errorf("unknown worker tasks = %v", tasks)
+	}
+}
+
+func TestAsyncHTTPExpire(t *testing.T) {
+	srv, w, _ := asyncServer(t)
+	trip := w.Data.Trips[2]
+	reqBody, _ := json.Marshal(RecommendRequest{
+		From: trip.Route.Source(), To: trip.Route.Dest(), DepartMin: float64(trip.Depart),
+	})
+	resp := postJSON(t, srv.URL+"/api/recommend/async", json.RawMessage(reqBody))
+	out := decode[AsyncRecommendResponse](t, resp)
+	if out.Ticket == nil {
+		t.Skip("TR resolved directly")
+	}
+	r, err := http.Post(fmt.Sprintf("%s/api/tasks/%d/expire", srv.URL, out.Ticket.TaskID),
+		"application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("expire status = %d", r.StatusCode)
+	}
+	ans := decode[AnswerResponse](t, r)
+	if ans.State != "expired" || ans.Resolved == nil {
+		t.Errorf("expire = %+v", ans)
+	}
+	// Second expiry conflicts.
+	r2, _ := http.Post(fmt.Sprintf("%s/api/tasks/%d/expire", srv.URL, out.Ticket.TaskID),
+		"application/json", nil)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusConflict {
+		t.Errorf("double expire status = %d", r2.StatusCode)
+	}
+}

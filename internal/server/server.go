@@ -1,0 +1,284 @@
+// Package server exposes CrowdPlanner over HTTP (the paper's server layer;
+// the mobile client is represented by any HTTP client). Endpoints:
+//
+//	POST /api/recommend   — process a route request through the full pipeline
+//	GET  /api/health      — system inventory and liveness
+//	GET  /api/truths      — the verified-truth database
+//	GET  /api/landmarks   — landmarks by significance
+//	GET  /api/workers/top — top-k eligible workers for a landmark list
+//	GET  /api/sources     — per-provider precision scoreboard
+//
+// plus the asynchronous task lifecycle (see async.go).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/landmark"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/worker"
+)
+
+// Server wraps a core.System with an HTTP API.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+}
+
+// New builds the server and its routes.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/truths", s.handleTruths)
+	s.mux.HandleFunc("GET /api/landmarks", s.handleLandmarks)
+	s.mux.HandleFunc("GET /api/workers/top", s.handleTopWorkers)
+	s.mux.HandleFunc("GET /api/sources", s.handleSources)
+	s.registerAsync()
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RecommendRequest is the POST /api/recommend body.
+type RecommendRequest struct {
+	From        roadnet.NodeID `json:"from"`
+	To          roadnet.NodeID `json:"to"`
+	DepartMin   float64        `json:"depart_min"` // minutes since Monday 00:00
+	DeadlineMin float64        `json:"deadline_min,omitempty"`
+}
+
+// RecommendResponse is the POST /api/recommend reply.
+type RecommendResponse struct {
+	Route      []roadnet.NodeID `json:"route"`
+	Stage      string           `json:"stage"`
+	Confidence float64          `json:"confidence"`
+	LengthM    float64          `json:"length_m"`
+	TravelMin  float64          `json:"travel_min"`
+	Candidates []CandidateInfo  `json:"candidates,omitempty"`
+	Task       *TaskInfo        `json:"task,omitempty"`
+}
+
+// CandidateInfo summarizes one candidate route.
+type CandidateInfo struct {
+	Source  string  `json:"source"`
+	Nodes   int     `json:"nodes"`
+	LengthM float64 `json:"length_m"`
+	Prior   float64 `json:"prior"`
+}
+
+// TaskInfo summarizes a generated crowd task.
+type TaskInfo struct {
+	ID                int64   `json:"id"`
+	Questions         []int32 `json:"question_landmarks"`
+	ExpectedQuestions float64 `json:"expected_questions"`
+	QuestionsUsed     int     `json:"questions_used"`
+	AnswersUsed       int     `json:"answers_used"`
+	WorkersAssigned   int     `json:"workers_assigned"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	resp, err := s.sys.Recommend(core.Request{
+		From: req.From, To: req.To,
+		Depart:      routing.SimTime(req.DepartMin),
+		DeadlineMin: req.DeadlineMin,
+	})
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if strings.Contains(err.Error(), "invalid request") {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	out := RecommendResponse{
+		Route:      resp.Route.Nodes,
+		Stage:      resp.Stage.String(),
+		Confidence: resp.Confidence,
+		LengthM:    resp.Route.Length(s.sys.Graph()),
+		TravelMin:  routing.TravelMinutes(s.sys.Graph(), resp.Route, routing.SimTime(req.DepartMin)),
+	}
+	for _, c := range resp.Candidates {
+		out.Candidates = append(out.Candidates, CandidateInfo{
+			Source:  c.Source,
+			Nodes:   len(c.Route.Nodes),
+			LengthM: c.Route.Length(s.sys.Graph()),
+			Prior:   c.Prior,
+		})
+	}
+	if resp.Task != nil {
+		ti := &TaskInfo{
+			ID:                resp.Task.ID,
+			ExpectedQuestions: resp.Task.ExpectedQuestions(),
+			WorkersAssigned:   len(resp.Workers),
+		}
+		for _, q := range resp.Task.Questions {
+			ti.Questions = append(ti.Questions, int32(q))
+		}
+		if resp.Run != nil {
+			ti.QuestionsUsed = resp.Run.QuestionsUsed
+			ti.AnswersUsed = resp.Run.AnswersUsed
+		}
+		out.Task = ti
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// HealthResponse is the GET /api/health reply.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Landmarks int    `json:"landmarks"`
+	Workers   int    `json:"workers"`
+	Truths    int    `json:"truths"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Nodes:     s.sys.Graph().NumNodes(),
+		Edges:     s.sys.Graph().NumEdges(),
+		Landmarks: s.sys.Landmarks().Len(),
+		Workers:   s.sys.Pool().Len(),
+		Truths:    s.sys.TruthDB().Len(),
+	})
+}
+
+// TruthInfo is one verified truth in GET /api/truths.
+type TruthInfo struct {
+	From       roadnet.NodeID `json:"from"`
+	To         roadnet.NodeID `json:"to"`
+	Slot       int            `json:"slot"`
+	Confidence float64        `json:"confidence"`
+	Crowd      bool           `json:"crowd"`
+	Nodes      int            `json:"nodes"`
+}
+
+func (s *Server) handleTruths(w http.ResponseWriter, _ *http.Request) {
+	entries := s.sys.TruthDB().Entries()
+	out := make([]TruthInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, TruthInfo{
+			From: e.From, To: e.To, Slot: e.Slot,
+			Confidence: e.Confidence, Crowd: e.Crowd, Nodes: len(e.Route.Nodes),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// LandmarkInfo is one landmark in GET /api/landmarks.
+type LandmarkInfo struct {
+	ID           int32   `json:"id"`
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"`
+	Significance float64 `json:"significance"`
+	X            float64 `json:"x"`
+	Y            float64 `json:"y"`
+}
+
+func (s *Server) handleLandmarks(w http.ResponseWriter, r *http.Request) {
+	top := 20
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad top parameter %q", v)
+			return
+		}
+		top = n
+	}
+	var out []LandmarkInfo
+	for _, l := range s.sys.Landmarks().TopBySignificance(top) {
+		out = append(out, LandmarkInfo{
+			ID: int32(l.ID), Name: l.Name, Kind: l.Kind.String(),
+			Significance: l.Significance, X: l.Pt.X, Y: l.Pt.Y,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// WorkerInfo is one ranked worker in GET /api/workers/top.
+type WorkerInfo struct {
+	ID     int32   `json:"id"`
+	Score  float64 `json:"score"`
+	Reward float64 `json:"reward"`
+}
+
+func (s *Server) handleTopWorkers(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var lids []landmark.ID
+	for _, part := range strings.Split(q.Get("landmarks"), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad landmark id %q", part)
+			return
+		}
+		lids = append(lids, landmark.ID(n))
+	}
+	if len(lids) == 0 {
+		httpError(w, http.StatusBadRequest, "landmarks parameter required")
+		return
+	}
+	k := 5
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad k parameter %q", v)
+			return
+		}
+		k = n
+	}
+	ranked := worker.TopKEligible(s.sys.Pool(), s.sys.Familiarity(), lids, k, s.sys.Config().Select)
+	out := make([]WorkerInfo, 0, len(ranked))
+	for _, rk := range ranked {
+		out = append(out, WorkerInfo{ID: int32(rk.Worker.ID), Score: rk.Score, Reward: rk.Worker.Reward})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SourceInfo is one provider's scoreboard entry in GET /api/sources.
+type SourceInfo struct {
+	Source    string  `json:"source"`
+	Wins      int     `json:"wins"`
+	Total     int     `json:"total"`
+	Precision float64 `json:"precision"`
+}
+
+// handleSources reports the per-provider precision scoreboard (the quality
+// control of route sources; paper §VI future work).
+func (s *Server) handleSources(w http.ResponseWriter, _ *http.Request) {
+	stats := s.sys.SourceStats()
+	out := make([]SourceInfo, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, SourceInfo{
+			Source: st.Source, Wins: st.Wins, Total: st.Total, Precision: st.Precision(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

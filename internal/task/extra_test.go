@@ -1,0 +1,170 @@
+package task
+
+import (
+	"math"
+	"testing"
+
+	"crowdplanner/internal/landmark"
+)
+
+func TestSelectOnlyAndBeneficialCount(t *testing.T) {
+	set := mkSet(0.9, 0.5, 0.1)
+	cands := []Candidate{
+		mkCand("A", 0, 0),
+		mkCand("B", 0, 1),
+		mkCand("C", 0, 2),
+	}
+	n, err := BeneficialCount(set, cands)
+	if err != nil || n != 3 {
+		t.Fatalf("BeneficialCount = %d, %v", n, err)
+	}
+	for _, algo := range []Algorithm{BruteForce, ILS, Greedy, Algorithm(99)} {
+		ids, val, err := SelectOnly(set, cands, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if math.Abs(val-0.7) > 1e-9 {
+			t.Errorf("%v: value = %v, want 0.7", algo, val)
+		}
+		if len(ids) != 2 {
+			t.Errorf("%v: ids = %v", algo, ids)
+		}
+	}
+	// Error propagation.
+	if _, _, err := SelectOnly(set, nil, Greedy); err == nil {
+		t.Error("empty candidates should error")
+	}
+	if _, err := BeneficialCount(set, nil); err == nil {
+		t.Error("empty candidates should error")
+	}
+}
+
+func TestExpectedQuestionsStaticOnTask(t *testing.T) {
+	set, cands := fourCands()
+	tk, err := Generate(1, set, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := len(tk.Questions)
+	order := make([]int, q)
+	for i := range order {
+		order[i] = i
+	}
+	static := tk.ExpectedQuestionsStatic(order)
+	if static <= 0 || static > float64(q)+1e-9 {
+		t.Errorf("static = %v with %d questions", static, q)
+	}
+	// The adaptive tree never asks more than the static order in
+	// expectation.
+	if tk.ExpectedQuestions() > static+1e-9 {
+		t.Errorf("ID3 %v should be <= static %v", tk.ExpectedQuestions(), static)
+	}
+	// A task with no retained selector returns 0 defensively.
+	empty := &Task{}
+	if empty.ExpectedQuestionsStatic(nil) != 0 {
+		t.Error("selector-less task should report 0")
+	}
+	if empty.MaxQuestions() != 0 {
+		t.Error("tree-less task should report 0 max questions")
+	}
+}
+
+func TestDiscriminativeWidePath(t *testing.T) {
+	// More than 64 beneficial landmarks forces the pairwise fallback in the
+	// full-set discriminability check inside newSelector.
+	const m = 80
+	sigs := make([]float64, m)
+	var idsA, idsB []landmark.ID
+	for i := 0; i < m; i++ {
+		sigs[i] = float64(i) / m
+		if i%2 == 0 {
+			idsA = append(idsA, landmark.ID(i))
+		} else {
+			idsB = append(idsB, landmark.ID(i))
+		}
+	}
+	set := mkSet(sigs...)
+	cands := []Candidate{mkCand("A", 0, idsA...), mkCand("B", 0, idsB...)}
+	sel, err := newSelector(set, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.ids) != m {
+		t.Fatalf("beneficial = %d", len(sel.ids))
+	}
+	if !sel.discriminative(allIndices(m)) {
+		t.Error("wide full set should be discriminative")
+	}
+	// And the wide pairwise path must also detect indistinguishability.
+	dup := []Candidate{mkCand("A", 0, idsA...), mkCand("B", 0, idsA...)}
+	if _, err := newSelector(set, dup); err == nil {
+		t.Error("identical wide candidates should fail")
+	}
+	// Greedy still solves the wide instance.
+	subset, _, err := sel.greedy()
+	if err != nil || !sel.discriminative(subset) {
+		t.Errorf("greedy on wide instance: %v %v", subset, err)
+	}
+}
+
+func TestSelectionWithTiedSignificances(t *testing.T) {
+	// Adversarial ties: every landmark has the same significance, so the
+	// objective is flat and only the discriminative structure matters. All
+	// algorithms must agree and pick a smallest discriminative set.
+	set := mkSet(0.5, 0.5, 0.5, 0.5, 0.5)
+	cands := []Candidate{
+		mkCand("A", 0, 0, 1),
+		mkCand("B", 0, 1, 2),
+		mkCand("C", 0, 2, 3),
+		mkCand("D", 0, 3, 4),
+	}
+	sel, err := newSelector(set, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, bfVal, err1 := sel.bruteForce()
+	il, ilVal, err2 := sel.ils()
+	gr, grVal, err3 := sel.greedy()
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatal(err1, err2, err3)
+	}
+	if math.Abs(bfVal-0.5) > 1e-9 || math.Abs(ilVal-0.5) > 1e-9 || math.Abs(grVal-0.5) > 1e-9 {
+		t.Errorf("tied values = %v %v %v, want 0.5", bfVal, ilVal, grVal)
+	}
+	// With a flat objective, deterministic tie-breaks must make all three
+	// pick the same set.
+	if len(bf) != len(il) || len(bf) != len(gr) {
+		t.Errorf("sizes differ: %v %v %v", bf, il, gr)
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	if !lexLess([]int{1, 2}, nil) {
+		t.Error("anything beats nil")
+	}
+	if !lexLess([]int{1, 2}, []int{1, 3}) {
+		t.Error("[1,2] < [1,3]")
+	}
+	if lexLess([]int{2}, []int{1, 9}) {
+		t.Error("[2] > [1,9]")
+	}
+	if !lexLess([]int{1}, []int{1, 0}) {
+		t.Error("prefix is smaller")
+	}
+	if lexLess([]int{1, 2}, []int{1, 2}) {
+		t.Error("equal is not less")
+	}
+}
+
+func TestResolveOnLeaflessPath(t *testing.T) {
+	// Resolve with an answer function on a single-candidate task: the tree
+	// is a lone leaf and Resolve returns 0 immediately.
+	set := mkSet(0.9)
+	tk, err := Generate(1, set, []Candidate{mkCand("only", 0, 0)}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Resolve(func(landmark.ID) bool { return true }); got != 0 {
+		t.Errorf("Resolve = %d", got)
+	}
+}

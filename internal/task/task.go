@@ -1,0 +1,168 @@
+package task
+
+import (
+	"fmt"
+
+	"crowdplanner/internal/landmark"
+)
+
+// Config controls task generation.
+type Config struct {
+	// Algorithm selects the landmark-selection strategy; Greedy is the
+	// production default, matching the paper's recommendation.
+	Algorithm Algorithm
+}
+
+// DefaultConfig uses GreedySelecting.
+func DefaultConfig() Config { return Config{Algorithm: Greedy} }
+
+// Task is a generated crowdsourcing task: candidates, the selected question
+// landmarks, and the ID3-ordered binary question tree.
+type Task struct {
+	ID         int64
+	Candidates []Candidate
+	// Questions are the selected landmark IDs (the question library LR).
+	Questions []landmark.ID
+	// Objective is the selection objective value (mean significance).
+	Objective float64
+	// Tree is the ID3-ordered question tree over Candidates.
+	Tree *TreeNode
+	// Priors are the normalized candidate priors used to build the tree.
+	Priors []float64
+
+	sel      *selector // retained for static-order baselines
+	selected []int     // selection as selector indices
+}
+
+// Generate builds a task for the candidate routes. Candidates must be
+// landmark-distinguishable; run MergeIndistinguishable first. The landmark
+// set provides significances.
+func Generate(id int64, set *landmark.Set, cands []Candidate, cfg Config) (*Task, error) {
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	sel, err := newSelector(set, cands)
+	if err != nil {
+		return nil, fmt.Errorf("task: building selector: %w", err)
+	}
+	subset, objective, err := sel.selectLandmarks(cfg.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("task: selecting landmarks: %w", err)
+	}
+
+	priors := normalizedPriors(cands)
+	candIdx := make([]int, len(cands))
+	for i := range candIdx {
+		candIdx[i] = i
+	}
+	tree := sel.buildTree(candIdx, subset, priors)
+
+	return &Task{
+		ID:         id,
+		Candidates: cands,
+		Questions:  sel.selectedIDs(subset),
+		Objective:  objective,
+		Tree:       tree,
+		Priors:     priors,
+		sel:        sel,
+		selected:   subset,
+	}, nil
+}
+
+// SelectOnly runs just the landmark-selection phase with the given
+// algorithm, returning the selected landmark IDs and the objective value.
+// Exposed for the selection-efficiency experiments (E3).
+func SelectOnly(set *landmark.Set, cands []Candidate, algo Algorithm) ([]landmark.ID, float64, error) {
+	sel, err := newSelector(set, cands)
+	if err != nil {
+		return nil, 0, err
+	}
+	subset, objective, err := sel.selectLandmarks(algo)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sel.selectedIDs(subset), objective, nil
+}
+
+// BeneficialCount returns the number of beneficial landmarks (the selection
+// search space size) for the candidate set.
+func BeneficialCount(set *landmark.Set, cands []Candidate) (int, error) {
+	sel, err := newSelector(set, cands)
+	if err != nil {
+		return 0, err
+	}
+	return len(sel.ids), nil
+}
+
+// ExpectedQuestionsStatic returns the prior-weighted expected number of
+// questions when the task's selected questions are asked in the given fixed
+// order. order holds indices into Questions; it must be a permutation of
+// 0..len(Questions)-1. Used by the E2 ordering baselines.
+func (t *Task) ExpectedQuestionsStatic(order []int) float64 {
+	if t.sel == nil {
+		return 0
+	}
+	mapped := make([]int, len(order))
+	for i, o := range order {
+		mapped[i] = t.selected[o]
+	}
+	cands := make([]int, len(t.Candidates))
+	for i := range cands {
+		cands[i] = i
+	}
+	return t.sel.staticOrderQuestions(mapped, cands, t.Priors)
+}
+
+// normalizedPriors returns the candidates' priors normalized to sum to 1,
+// substituting a uniform distribution when they carry no mass.
+func normalizedPriors(cands []Candidate) []float64 {
+	priors := make([]float64, len(cands))
+	var sum float64
+	for i, c := range cands {
+		if c.Prior > 0 {
+			priors[i] = c.Prior
+			sum += c.Prior
+		}
+	}
+	if sum <= 0 {
+		for i := range priors {
+			priors[i] = 1 / float64(len(priors))
+		}
+		return priors
+	}
+	for i := range priors {
+		priors[i] /= sum
+	}
+	return priors
+}
+
+// ExpectedQuestions is the prior-weighted expected number of questions of
+// this task's tree.
+func (t *Task) ExpectedQuestions() float64 {
+	return ExpectedQuestions(t.Tree, t.Priors)
+}
+
+// MaxQuestions is the worst-case number of questions (tree depth).
+func (t *Task) MaxQuestions() int {
+	if t.Tree == nil {
+		return 0
+	}
+	return t.Tree.Depth()
+}
+
+// Resolve walks the tree with an answer function (true = "yes, the best
+// route passes this landmark") and returns the resolved candidate index.
+func (t *Task) Resolve(answer func(landmark.ID) bool) int {
+	n := t.Tree
+	for n != nil && !n.IsLeaf() {
+		if answer(n.Landmark) {
+			n = n.Yes
+		} else {
+			n = n.No
+		}
+	}
+	if n == nil {
+		return 0
+	}
+	return n.Leaf()
+}

@@ -1,0 +1,200 @@
+package task
+
+import (
+	"math"
+
+	"crowdplanner/internal/landmark"
+)
+
+// TreeNode is a node of the binary question tree (paper §III-C). Internal
+// nodes ask "does the best route pass <Landmark>?"; Yes/No lead to subtrees;
+// leaves resolve to a single candidate.
+type TreeNode struct {
+	Landmark   landmark.ID // question landmark; undefined at leaves
+	Sig        float64     // its significance
+	Yes, No    *TreeNode
+	Candidates []int // candidate indices still possible at this node
+}
+
+// IsLeaf reports whether the node resolves to a single candidate.
+func (n *TreeNode) IsLeaf() bool { return n.Yes == nil && n.No == nil }
+
+// Leaf returns the resolved candidate index; call only on leaves. When the
+// question library cannot split further (defensive case), the first
+// remaining candidate is returned.
+func (n *TreeNode) Leaf() int { return n.Candidates[0] }
+
+// Depth returns the height of the subtree (0 for a leaf): the worst-case
+// number of questions.
+func (n *TreeNode) Depth() int {
+	if n.IsLeaf() {
+		return 0
+	}
+	dy, dn := 0, 0
+	if n.Yes != nil {
+		dy = n.Yes.Depth()
+	}
+	if n.No != nil {
+		dn = n.No.Depth()
+	}
+	if dy > dn {
+		return dy + 1
+	}
+	return dn + 1
+}
+
+// entropy computes the weighted empirical entropy (bits) of the candidate
+// subset under the given priors.
+func entropy(cands []int, priors []float64) float64 {
+	var total float64
+	for _, i := range cands {
+		total += priors[i]
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, i := range cands {
+		p := priors[i] / total
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// buildTree recursively builds the ID3 question tree over the remaining
+// candidates using the remaining question landmarks (indices into s.ids).
+// Each node picks the question with maximal information strength
+// IS(l) = l.s · [H(R) − (W+/W)·H(R+) − (W−/W)·H(R−)] (paper §III-C).
+func (s *selector) buildTree(cands []int, questions []int, priors []float64) *TreeNode {
+	node := &TreeNode{Candidates: append([]int(nil), cands...)}
+	if len(cands) <= 1 || len(questions) == 0 {
+		return node
+	}
+
+	var totalW float64
+	for _, i := range cands {
+		totalW += priors[i]
+	}
+	h := entropy(cands, priors)
+
+	bestQ := -1
+	bestIS := math.Inf(-1)
+	var bestYes, bestNo []int
+	for _, q := range questions {
+		var yes, no []int
+		var wYes, wNo float64
+		for _, i := range cands {
+			if s.member[q]>>uint(i)&1 == 1 {
+				yes = append(yes, i)
+				wYes += priors[i]
+			} else {
+				no = append(no, i)
+				wNo += priors[i]
+			}
+		}
+		if len(yes) == 0 || len(no) == 0 {
+			continue // no information for this subset
+		}
+		gain := h
+		if totalW > 0 {
+			gain = h - wYes/totalW*entropy(yes, priors) - wNo/totalW*entropy(no, priors)
+		}
+		is := s.sigs[q] * gain
+		// Tie-breaks: higher significance, then lower landmark index, keep
+		// the tree deterministic.
+		if is > bestIS+1e-12 ||
+			(math.Abs(is-bestIS) <= 1e-12 && (bestQ == -1 || s.sigs[q] > s.sigs[bestQ]+1e-12 ||
+				(math.Abs(s.sigs[q]-s.sigs[bestQ]) <= 1e-12 && q < bestQ))) {
+			bestIS = is
+			bestQ = q
+			bestYes, bestNo = yes, no
+		}
+	}
+	if bestQ == -1 {
+		// No question splits the remaining candidates; they are
+		// indistinguishable by the library (possible only if the selection
+		// step was skipped). Resolve to the highest-prior candidate.
+		best := cands[0]
+		for _, i := range cands[1:] {
+			if priors[i] > priors[best] {
+				best = i
+			}
+		}
+		node.Candidates = []int{best}
+		return node
+	}
+
+	remaining := make([]int, 0, len(questions)-1)
+	for _, q := range questions {
+		if q != bestQ {
+			remaining = append(remaining, q)
+		}
+	}
+	node.Landmark = s.ids[bestQ]
+	node.Sig = s.sigs[bestQ]
+	node.Yes = s.buildTree(bestYes, remaining, priors)
+	node.No = s.buildTree(bestNo, remaining, priors)
+	return node
+}
+
+// ExpectedQuestions returns the prior-weighted expected number of questions
+// the tree asks before resolving, assuming truthful answers.
+func ExpectedQuestions(root *TreeNode, priors []float64) float64 {
+	var total float64
+	for _, p := range priors {
+		total += p
+	}
+	if total <= 0 || root == nil {
+		return 0
+	}
+	var walk func(n *TreeNode, depth int) float64
+	walk = func(n *TreeNode, depth int) float64 {
+		if n.IsLeaf() {
+			var mass float64
+			for _, i := range n.Candidates {
+				mass += priors[i]
+			}
+			return mass / total * float64(depth)
+		}
+		return walk(n.Yes, depth+1) + walk(n.No, depth+1)
+	}
+	return walk(root, 0)
+}
+
+// StaticOrderQuestions returns the prior-weighted expected number of
+// questions when the questions are asked in the given fixed order (no
+// adaptivity beyond skipping is allowed): for each candidate, questions are
+// issued in order until the answers so far single it out. This models the
+// naive "ask everything in a fixed order" baselines of experiment E2.
+func (s *selector) staticOrderQuestions(order []int, cands []int, priors []float64) float64 {
+	var total float64
+	for _, i := range cands {
+		total += priors[i]
+	}
+	if total <= 0 || len(cands) <= 1 {
+		return 0
+	}
+	var expected float64
+	for _, truth := range cands {
+		alive := append([]int(nil), cands...)
+		asked := 0
+		for _, q := range order {
+			if len(alive) == 1 {
+				break
+			}
+			asked++
+			truthAns := s.member[q]>>uint(truth)&1 == 1
+			var next []int
+			for _, i := range alive {
+				if (s.member[q]>>uint(i)&1 == 1) == truthAns {
+					next = append(next, i)
+				}
+			}
+			alive = next
+		}
+		expected += priors[truth] / total * float64(asked)
+	}
+	return expected
+}

@@ -1,0 +1,286 @@
+package task
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdplanner/internal/landmark"
+)
+
+// fourCands builds 4 candidates separable by 3 landmarks:
+//
+//	cand 0: {l0}        cand 1: {l1}
+//	cand 2: {l0,l1}     cand 3: {}  (passes only the shared l3)
+func fourCands() (*landmark.Set, []Candidate) {
+	set := mkSet(0.9, 0.8, 0.7, 0.6)
+	cands := []Candidate{
+		mkCand("c0", 0, 0, 3),
+		mkCand("c1", 0, 1, 3),
+		mkCand("c2", 0, 0, 1, 3),
+		mkCand("c3", 0, 3),
+	}
+	return set, cands
+}
+
+func TestGenerateTaskBasics(t *testing.T) {
+	set, cands := fourCands()
+	tk, err := Generate(1, set, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.ID != 1 {
+		t.Errorf("ID = %d", tk.ID)
+	}
+	if len(tk.Questions) < 2 || len(tk.Questions) > 4 {
+		t.Errorf("questions = %v", tk.Questions)
+	}
+	if tk.Objective <= 0 {
+		t.Errorf("objective = %v", tk.Objective)
+	}
+	if tk.Tree == nil {
+		t.Fatal("no tree")
+	}
+	// Uniform priors by default.
+	for _, p := range tk.Priors {
+		if math.Abs(p-0.25) > 1e-9 {
+			t.Errorf("priors = %v", tk.Priors)
+		}
+	}
+}
+
+func TestTreeLeavesPartitionCandidates(t *testing.T) {
+	set, cands := fourCands()
+	tk, err := Generate(1, set, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if n.IsLeaf() {
+			if len(n.Candidates) != 1 {
+				t.Errorf("leaf with %d candidates", len(n.Candidates))
+			}
+			seen[n.Leaf()]++
+			return
+		}
+		walk(n.Yes)
+		walk(n.No)
+	}
+	walk(tk.Tree)
+	if len(seen) != 4 {
+		t.Errorf("leaves cover %d candidates, want 4", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("candidate %d appears in %d leaves", i, c)
+		}
+	}
+}
+
+func TestResolveEveryCandidate(t *testing.T) {
+	set, cands := fourCands()
+	tk, err := Generate(1, set, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := range cands {
+		truth := cands[want].LRoute.IDSet()
+		got := tk.Resolve(func(l landmark.ID) bool { return truth[l] })
+		if got != want {
+			t.Errorf("Resolve(candidate %d) = %d", want, got)
+		}
+	}
+}
+
+func TestExpectedQuestionsBounds(t *testing.T) {
+	set, cands := fourCands()
+	tk, err := Generate(1, set, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := tk.ExpectedQuestions()
+	// Binary-tree information bound: expected depth >= H(priors) = 2 bits
+	// for 4 uniform candidates; and at most the question count.
+	if exp < 2-1e-9 {
+		t.Errorf("expected questions %v below entropy bound 2", exp)
+	}
+	if exp > float64(len(tk.Questions))+1e-9 {
+		t.Errorf("expected questions %v above |L| = %d", exp, len(tk.Questions))
+	}
+	if tk.MaxQuestions() > len(tk.Questions) {
+		t.Errorf("max questions %d above |L| = %d", tk.MaxQuestions(), len(tk.Questions))
+	}
+}
+
+func TestSkewedPriorsReduceExpectedQuestions(t *testing.T) {
+	set, cands := fourCands()
+	// Uniform.
+	uni, err := Generate(1, set, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavily skewed towards candidate 3.
+	skewed := make([]Candidate, len(cands))
+	copy(skewed, cands)
+	skewed[3].Prior = 0.97
+	skewed[0].Prior, skewed[1].Prior, skewed[2].Prior = 0.01, 0.01, 0.01
+	sk, err := Generate(2, set, skewed, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.ExpectedQuestions() > uni.ExpectedQuestions()+1e-9 {
+		t.Errorf("skewed priors should not increase expected questions: %v vs %v",
+			sk.ExpectedQuestions(), uni.ExpectedQuestions())
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	priors := []float64{0.25, 0.25, 0.25, 0.25}
+	if h := entropy([]int{0, 1, 2, 3}, priors); math.Abs(h-2) > 1e-9 {
+		t.Errorf("uniform H = %v, want 2", h)
+	}
+	if h := entropy([]int{0}, priors); h != 0 {
+		t.Errorf("singleton H = %v", h)
+	}
+	if h := entropy(nil, priors); h != 0 {
+		t.Errorf("empty H = %v", h)
+	}
+	skew := []float64{0.999, 0.0005, 0.0005}
+	if h := entropy([]int{0, 1, 2}, skew); h > 0.1 {
+		t.Errorf("near-certain H = %v, want ~0", h)
+	}
+}
+
+func TestStaticOrderQuestions(t *testing.T) {
+	set, cands := fourCands()
+	sel, err := newSelector(set, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, _, err := sel.selectLandmarks(BruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := normalizedPriors(cands)
+	all := []int{0, 1, 2, 3}
+	static := sel.staticOrderQuestions(subset, all, priors)
+	if static <= 0 {
+		t.Errorf("static expected = %v", static)
+	}
+	if static > float64(len(subset))+1e-9 {
+		t.Errorf("static expected %v exceeds question count %d", static, len(subset))
+	}
+	// The adaptive ID3 tree should not ask more than the static order on
+	// the same question set.
+	tree := sel.buildTree(all, subset, priors)
+	if ExpectedQuestions(tree, priors) > static+1e-9 {
+		t.Errorf("ID3 %v should be <= static %v", ExpectedQuestions(tree, priors), static)
+	}
+}
+
+func TestPropertyTreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		sel, ok := randomInstance(seed)
+		if !ok {
+			return true
+		}
+		subset, _, err := sel.greedy()
+		if err != nil {
+			return true
+		}
+		cands := make([]int, sel.n)
+		priors := make([]float64, sel.n)
+		for i := range cands {
+			cands[i] = i
+			priors[i] = 1 / float64(sel.n)
+		}
+		tree := sel.buildTree(cands, subset, priors)
+		// (1) Every leaf resolves exactly one candidate; leaves partition.
+		count := 0
+		okTree := true
+		var walk func(n *TreeNode, depth int)
+		walk = func(n *TreeNode, depth int) {
+			if n.IsLeaf() {
+				if len(n.Candidates) != 1 {
+					okTree = false
+				}
+				count++
+				return
+			}
+			if n.Yes == nil || n.No == nil {
+				okTree = false
+				return
+			}
+			walk(n.Yes, depth+1)
+			walk(n.No, depth+1)
+		}
+		walk(tree, 0)
+		if !okTree || count != sel.n {
+			t.Logf("seed %d: tree covers %d of %d candidates", seed, count, sel.n)
+			return false
+		}
+		// (2) Expected depth within [H(p), |questions|].
+		exp := ExpectedQuestions(tree, priors)
+		h := entropy(cands, priors)
+		if exp < h-1e-9 || exp > float64(len(subset))+1e-9 {
+			t.Logf("seed %d: expected %v outside [%v, %d]", seed, exp, h, len(subset))
+			return false
+		}
+		// (3) Resolution is consistent: answering per candidate i's
+		// membership leads back to i.
+		for i := 0; i < sel.n; i++ {
+			n := tree
+			for !n.IsLeaf() {
+				// Find the question's index.
+				var q int
+				for j, id := range sel.ids {
+					if id == n.Landmark {
+						q = j
+						break
+					}
+				}
+				if sel.member[q]>>uint(i)&1 == 1 {
+					n = n.Yes
+				} else {
+					n = n.No
+				}
+			}
+			if n.Leaf() != i {
+				t.Logf("seed %d: candidate %d resolves to %d", seed, i, n.Leaf())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateErrorPaths(t *testing.T) {
+	set := mkSet(0.5)
+	if _, err := Generate(1, set, nil, DefaultConfig()); err == nil {
+		t.Error("empty candidates should error")
+	}
+	dup := []Candidate{mkCand("a", 0, 0), mkCand("b", 0, 0)}
+	if _, err := Generate(1, set, dup, DefaultConfig()); err == nil {
+		t.Error("indistinguishable candidates should error")
+	}
+}
+
+func TestNormalizedPriors(t *testing.T) {
+	cands := []Candidate{
+		{Prior: 2}, {Prior: 1}, {Prior: 1},
+	}
+	p := normalizedPriors(cands)
+	if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(p[1]-0.25) > 1e-9 {
+		t.Errorf("priors = %v", p)
+	}
+	// Zero priors -> uniform.
+	p = normalizedPriors([]Candidate{{}, {}})
+	if math.Abs(p[0]-0.5) > 1e-9 {
+		t.Errorf("uniform priors = %v", p)
+	}
+}

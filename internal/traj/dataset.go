@@ -1,0 +1,218 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+)
+
+// OD is an origin-destination pair.
+type OD struct {
+	From roadnet.NodeID
+	To   roadnet.NodeID
+}
+
+// Dataset is a corpus of historical trajectories over one road network,
+// the substitute for the paper's "large-scale real trajectory dataset".
+type Dataset struct {
+	Graph   *roadnet.Graph
+	Drivers []*Driver
+	Trips   []Trajectory
+}
+
+// DatasetConfig controls synthetic corpus generation.
+type DatasetConfig struct {
+	NumODs     int     // distinct OD pairs in the corpus
+	TripsPerOD int     // average trips per OD pair (Zipf-skewed around this)
+	ZipfSkew   float64 // >0 skews trips towards popular ODs; 0 = uniform
+	MinODDistM float64 // minimum straight-line OD distance
+	PeakBias   float64 // 0..1 fraction of departures in rush hours
+	GPS        GPSConfig
+	Seed       int64
+}
+
+// DefaultDatasetConfig produces a moderately dense corpus.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{
+		NumODs:     60,
+		TripsPerOD: 25,
+		ZipfSkew:   1.0,
+		MinODDistM: 1500,
+		PeakBias:   0.6,
+		GPS:        DefaultGPSConfig(),
+		Seed:       21,
+	}
+}
+
+// RandomODs draws distinct OD node pairs at least minDist apart.
+func RandomODs(g *roadnet.Graph, n int, minDist float64, rng *rand.Rand) []OD {
+	var ods []OD
+	seen := map[OD]bool{}
+	attempts := 0
+	for len(ods) < n && attempts < n*200 {
+		attempts++
+		a := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		b := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		if a == b {
+			continue
+		}
+		if dist := nodeDist(g, a, b); dist < minDist {
+			continue
+		}
+		od := OD{From: a, To: b}
+		if seen[od] {
+			continue
+		}
+		seen[od] = true
+		ods = append(ods, od)
+	}
+	return ods
+}
+
+func nodeDist(g *roadnet.Graph, a, b roadnet.NodeID) float64 {
+	pa, pb := g.Node(a).Pt, g.Node(b).Pt
+	dx, dy := pa.X-pb.X, pa.Y-pb.Y
+	return math.Hypot(dx, dy)
+}
+
+// randomDepart draws a departure time: rush hour with probability peakBias,
+// otherwise uniform over the day. Weekdays only, matching commuter data.
+func randomDepart(rng *rand.Rand, peakBias float64) routing.SimTime {
+	day := rng.Intn(5)
+	if rng.Float64() < peakBias {
+		// Morning or evening rush, gaussian around the peak.
+		var center float64
+		if rng.Intn(2) == 0 {
+			center = 8
+		} else {
+			center = 17.5
+		}
+		h := center + rng.NormFloat64()*0.75
+		if h < 0 {
+			h = 0
+		}
+		if h > 23.5 {
+			h = 23.5
+		}
+		return routing.At(day, 0, 0).Add(h * 60)
+	}
+	return routing.At(day, 0, 0).Add(rng.Float64() * 24 * 60)
+}
+
+// GenerateDataset simulates the trajectory corpus: ODs are drawn, trips per
+// OD follow a Zipf-like skew, each trip is driven by a random driver under
+// their latent preferences with per-trip noise, then recorded as noisy GPS
+// and map-matched back onto the network.
+func GenerateDataset(g *roadnet.Graph, drivers []*Driver, cfg DatasetConfig) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ods := RandomODs(g, cfg.NumODs, cfg.MinODDistM, rng)
+	ds := &Dataset{Graph: g, Drivers: drivers}
+
+	// Zipf-like trip counts: OD i gets weight 1/(i+1)^skew.
+	weights := make([]float64, len(ods))
+	var wsum float64
+	for i := range ods {
+		w := 1.0
+		if cfg.ZipfSkew > 0 {
+			w = 1 / math.Pow(float64(i+1), cfg.ZipfSkew)
+		}
+		weights[i] = w
+		wsum += w
+	}
+	totalTrips := cfg.TripsPerOD * len(ods)
+	for i, od := range ods {
+		nTrips := int(math.Round(float64(totalTrips) * weights[i] / wsum))
+		if nTrips < 1 {
+			nTrips = 1
+		}
+		for k := 0; k < nTrips; k++ {
+			d := drivers[rng.Intn(len(drivers))]
+			depart := randomDepart(rng, cfg.PeakBias)
+			route, err := d.RouteFor(g, od.From, od.To, depart, rng)
+			if err != nil {
+				continue
+			}
+			tr := Trace(g, d, route, depart, cfg.GPS, rng)
+			matched, err := MapMatch(g, tr.Samples)
+			if err == nil {
+				tr.Route = matched
+			}
+			ds.Trips = append(ds.Trips, tr)
+		}
+	}
+	return ds
+}
+
+// TripsBetween returns the trips whose matched route starts within radius of
+// from and ends within radius of to. Radius 0 requires exact endpoints.
+func (ds *Dataset) TripsBetween(from, to roadnet.NodeID, radius float64) []Trajectory {
+	var out []Trajectory
+	fp := ds.Graph.Node(from).Pt
+	tp := ds.Graph.Node(to).Pt
+	for _, tr := range ds.Trips {
+		if tr.Route.Empty() {
+			continue
+		}
+		s := ds.Graph.Node(tr.Route.Source()).Pt
+		d := ds.Graph.Node(tr.Route.Dest()).Pt
+		if distOK(s, fp, radius) && distOK(d, tp, radius) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+func distOK(a, b geo.Point, radius float64) bool {
+	if radius <= 0 {
+		return a == b
+	}
+	return geo.Dist(a, b) <= radius
+}
+
+// GroundTruth returns the population-preferred route for the OD at time t:
+// every driver's noise-free preferred route is computed and the most common
+// choice (the mode) wins. sampleDrivers caps the poll size; 0 polls everyone.
+// This is the measurable stand-in for "the route most experienced drivers
+// prefer" that all recommenders are scored against.
+func (ds *Dataset) GroundTruth(from, to roadnet.NodeID, t routing.SimTime, sampleDrivers int) (roadnet.Route, error) {
+	drivers := ds.Drivers
+	if sampleDrivers > 0 && sampleDrivers < len(drivers) {
+		drivers = drivers[:sampleDrivers]
+	}
+	type bucket struct {
+		route roadnet.Route
+		votes int
+	}
+	counts := map[string]*bucket{}
+	for _, d := range drivers {
+		r, err := d.RouteFor(ds.Graph, from, to, t, nil)
+		if err != nil {
+			continue
+		}
+		k := r.String()
+		if b, ok := counts[k]; ok {
+			b.votes++
+		} else {
+			counts[k] = &bucket{route: r, votes: 1}
+		}
+	}
+	if len(counts) == 0 {
+		return roadnet.Route{}, routing.ErrNoRoute
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie-break
+	best := counts[keys[0]]
+	for _, k := range keys[1:] {
+		if counts[k].votes > best.votes {
+			best = counts[k]
+		}
+	}
+	return best.route, nil
+}

@@ -1,0 +1,172 @@
+// Package truth implements CrowdPlanner's verified-truth database: routes
+// already confirmed to be the best between two places at a departure time.
+// The control logic consults it twice per request: first to *reuse* a truth
+// outright (an exact-enough hit returns immediately, no candidates needed),
+// then to score fresh candidate routes by similarity to nearby truths (the
+// route evaluation component's confidence score).
+package truth
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+)
+
+// Entry is one verified truth: the best route between From and To when
+// departing within time slot Slot, plus bookkeeping about how it was
+// verified.
+type Entry struct {
+	From, To   roadnet.NodeID
+	Slot       int // departure-time slot, see routing.SimTime.Slot
+	Route      roadnet.Route
+	Confidence float64 // how sure the system was when storing (0..1]
+	Crowd      bool    // true if verified by crowd workers, false if by agreement
+	StoredAt   routing.SimTime
+}
+
+// DB is the truth store. It is safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	slots   int
+	entries []Entry
+	// byOD accelerates exact-node lookups; spatial matching scans (the
+	// store is small relative to the request stream).
+	byOD map[odSlot][]int
+}
+
+type odSlot struct {
+	from, to roadnet.NodeID
+	slot     int
+}
+
+// NewDB creates a truth database quantizing departure times into the given
+// number of daily slots (the paper's "time tag"). 24 gives hourly tags.
+func NewDB(slots int) *DB {
+	if slots <= 0 {
+		slots = 24
+	}
+	return &DB{slots: slots, byOD: make(map[odSlot][]int)}
+}
+
+// Slots returns the configured slot count.
+func (db *DB) Slots() int { return db.slots }
+
+// Len returns the number of stored truths.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Store records a verified truth.
+func (db *DB) Store(e Entry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e.Slot = ((e.Slot % db.slots) + db.slots) % db.slots
+	db.entries = append(db.entries, e)
+	k := odSlot{e.From, e.To, e.Slot}
+	db.byOD[k] = append(db.byOD[k], len(db.entries)-1)
+}
+
+// Lookup returns the most recently stored truth for the exact OD pair and
+// the slot of t, if any. This implements the reuse-truth component's hit
+// path.
+func (db *DB) Lookup(from, to roadnet.NodeID, t routing.SimTime) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	k := odSlot{from, to, t.Slot(db.slots)}
+	idxs := db.byOD[k]
+	if len(idxs) == 0 {
+		return Entry{}, false
+	}
+	return db.entries[idxs[len(idxs)-1]], true
+}
+
+// Near returns truths whose endpoints are within radius meters of the
+// requested endpoints and whose slot is within slotTol slots (circularly) of
+// t's slot, ordered by decreasing endpoint proximity.
+func (db *DB) Near(g *roadnet.Graph, from, to roadnet.NodeID, t routing.SimTime, radius float64, slotTol int) []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	slot := t.Slot(db.slots)
+	fp := g.Node(from).Pt
+	tp := g.Node(to).Pt
+	type scored struct {
+		e Entry
+		d float64
+	}
+	var out []scored
+	for _, e := range db.entries {
+		if slotDist(e.Slot, slot, db.slots) > slotTol {
+			continue
+		}
+		df := geo.Dist(g.Node(e.From).Pt, fp)
+		dt := geo.Dist(g.Node(e.To).Pt, tp)
+		if df > radius || dt > radius {
+			continue
+		}
+		out = append(out, scored{e: e, d: df + dt})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].d < out[j].d })
+	res := make([]Entry, len(out))
+	for i, s := range out {
+		res[i] = s.e
+	}
+	return res
+}
+
+// slotDist is the circular distance between two slots.
+func slotDist(a, b, slots int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > slots/2 {
+		d = slots - d
+	}
+	return d
+}
+
+// Confidence scores a candidate route against the verified truths near its
+// OD pair, implementing the route evaluation component: each nearby truth
+// votes with weight decaying in endpoint distance, and its vote is the
+// route-similarity between the candidate and the truth's route. The result
+// is in [0,1]; 0 means no nearby truths (no evidence), not "bad".
+func (db *DB) Confidence(g *roadnet.Graph, candidate roadnet.Route, t routing.SimTime, radius float64, slotTol int) float64 {
+	if candidate.Empty() {
+		return 0
+	}
+	near := db.Near(g, candidate.Source(), candidate.Dest(), t, radius, slotTol)
+	if len(near) == 0 {
+		return 0
+	}
+	fp := g.Node(candidate.Source()).Pt
+	tp := g.Node(candidate.Dest()).Pt
+	var num, den float64
+	for _, e := range near {
+		df := geo.Dist(g.Node(e.From).Pt, fp)
+		dt := geo.Dist(g.Node(e.To).Pt, tp)
+		// Weight: exponential decay with combined endpoint distance, scaled
+		// by the truth's own confidence.
+		w := math.Exp(-(df+dt)/(radius+1)) * e.Confidence
+		num += w * candidate.Similarity(e.Route)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Entries returns a copy of all stored truths, oldest first.
+func (db *DB) Entries() []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Entry, len(db.entries))
+	copy(out, db.entries)
+	return out
+}

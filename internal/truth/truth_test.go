@@ -1,0 +1,242 @@
+package truth
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+)
+
+// corridor builds two parallel 3-hop corridors between shared endpoints.
+func corridor() *roadnet.Graph {
+	g := roadnet.NewGraph(8, 20)
+	g.AddNode(geo.Point{X: 0, Y: 0})     // 0 source
+	g.AddNode(geo.Point{X: 100, Y: 50})  // 1 top
+	g.AddNode(geo.Point{X: 200, Y: 50})  // 2 top
+	g.AddNode(geo.Point{X: 300, Y: 0})   // 3 dest
+	g.AddNode(geo.Point{X: 100, Y: -50}) // 4 bottom
+	g.AddNode(geo.Point{X: 200, Y: -50}) // 5 bottom
+	g.AddNode(geo.Point{X: 10, Y: 10})   // 6 near source
+	g.AddNode(geo.Point{X: 290, Y: 10})  // 7 near dest
+	g.AddRoad(0, 1, roadnet.Local, 0, 0)
+	g.AddRoad(1, 2, roadnet.Local, 0, 0)
+	g.AddRoad(2, 3, roadnet.Local, 0, 0)
+	g.AddRoad(0, 4, roadnet.Local, 0, 0)
+	g.AddRoad(4, 5, roadnet.Local, 0, 0)
+	g.AddRoad(5, 3, roadnet.Local, 0, 0)
+	g.AddRoad(6, 0, roadnet.Local, 0, 0)
+	g.AddRoad(7, 3, roadnet.Local, 0, 0)
+	return g
+}
+
+func top() roadnet.Route    { return roadnet.NewRoute(0, 1, 2, 3) }
+func bottom() roadnet.Route { return roadnet.NewRoute(0, 4, 5, 3) }
+
+func TestStoreLookup(t *testing.T) {
+	db := NewDB(24)
+	tm := routing.At(0, 9, 30)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 0.9})
+	e, ok := db.Lookup(0, 3, tm)
+	if !ok || !e.Route.Equal(top()) {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	// Same OD, different hour slot: miss.
+	if _, ok := db.Lookup(0, 3, routing.At(0, 15, 0)); ok {
+		t.Error("different slot should miss")
+	}
+	// Different OD: miss.
+	if _, ok := db.Lookup(0, 2, tm); ok {
+		t.Error("different OD should miss")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestLookupReturnsLatest(t *testing.T) {
+	db := NewDB(24)
+	tm := routing.At(0, 9, 0)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 0.5})
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: bottom(), Confidence: 0.9})
+	e, ok := db.Lookup(0, 3, tm)
+	if !ok || !e.Route.Equal(bottom()) {
+		t.Error("Lookup should return the most recent truth")
+	}
+}
+
+func TestStoreNormalizesSlot(t *testing.T) {
+	db := NewDB(24)
+	db.Store(Entry{From: 0, To: 3, Slot: 25, Route: top(), Confidence: 1})
+	if _, ok := db.Lookup(0, 3, routing.At(0, 1, 30)); !ok {
+		t.Error("slot 25 should normalize to slot 1")
+	}
+	db.Store(Entry{From: 1, To: 3, Slot: -1, Route: top(), Confidence: 1})
+	if _, ok := db.Lookup(1, 3, routing.At(0, 23, 30)); !ok {
+		t.Error("slot -1 should normalize to slot 23")
+	}
+}
+
+func TestNearSpatialAndSlotFilters(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	tm := routing.At(0, 9, 0)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 1})
+
+	// Query from nearby endpoints (nodes 6,7 are ~15 m away).
+	got := db.Near(g, 6, 7, tm, 100, 0)
+	if len(got) != 1 {
+		t.Fatalf("Near = %d entries, want 1", len(got))
+	}
+	// Radius too small: no match.
+	if got := db.Near(g, 6, 7, tm, 5, 0); len(got) != 0 {
+		t.Errorf("tight radius should miss, got %d", len(got))
+	}
+	// Slot out of tolerance.
+	if got := db.Near(g, 6, 7, routing.At(0, 14, 0), 100, 1); len(got) != 0 {
+		t.Errorf("slot 14 vs 9 with tol 1 should miss, got %d", len(got))
+	}
+	// Wider tolerance hits.
+	if got := db.Near(g, 6, 7, routing.At(0, 11, 0), 100, 2); len(got) != 1 {
+		t.Errorf("slot 11 vs 9 with tol 2 should hit, got %d", len(got))
+	}
+}
+
+func TestNearOrdering(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	tm := routing.At(0, 9, 0)
+	// Exact endpoints and offset endpoints.
+	db.Store(Entry{From: 6, To: 7, Slot: tm.Slot(24), Route: roadnet.NewRoute(6, 0, 1, 2, 3, 7), Confidence: 1})
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 1})
+	got := db.Near(g, 0, 3, tm, 200, 0)
+	if len(got) != 2 {
+		t.Fatalf("Near = %d", len(got))
+	}
+	if got[0].From != 0 {
+		t.Error("exact-endpoint truth should sort first")
+	}
+}
+
+func TestConfidenceFavorsSimilarRoute(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	tm := routing.At(0, 9, 0)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 1})
+
+	cTop := db.Confidence(g, top(), tm, 100, 1)
+	cBottom := db.Confidence(g, bottom(), tm, 100, 1)
+	if cTop != 1 {
+		t.Errorf("confidence of exact truth route = %v, want 1", cTop)
+	}
+	if cBottom != 0 {
+		t.Errorf("confidence of disjoint route = %v, want 0", cBottom)
+	}
+}
+
+func TestConfidenceNoEvidence(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	if got := db.Confidence(g, top(), 0, 100, 1); got != 0 {
+		t.Errorf("empty DB confidence = %v", got)
+	}
+	if got := db.Confidence(g, roadnet.Route{}, 0, 100, 1); got != 0 {
+		t.Errorf("empty route confidence = %v", got)
+	}
+}
+
+func TestConfidenceWeighsByDistanceAndTruthConfidence(t *testing.T) {
+	g := corridor()
+	tm := routing.At(0, 9, 0)
+
+	// Two truths: a near one (exact endpoints) supporting top and a far one
+	// supporting bottom. The near one should dominate.
+	db := NewDB(24)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 1})
+	db.Store(Entry{From: 6, To: 7, Slot: tm.Slot(24), Route: roadnet.NewRoute(6, 0, 4, 5, 3, 7), Confidence: 1})
+	cTop := db.Confidence(g, top(), tm, 200, 1)
+	if cTop <= 0.5 {
+		t.Errorf("near truth should dominate: confidence = %v", cTop)
+	}
+
+	// Confidence weighting: a low-confidence contrary truth barely moves
+	// the score relative to a high-confidence supporting truth.
+	db2 := NewDB(24)
+	db2.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 1})
+	db2.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: bottom(), Confidence: 0.05})
+	got := db2.Confidence(g, top(), tm, 100, 1)
+	if got < 0.9 {
+		t.Errorf("low-confidence contrary truth should barely matter: %v", got)
+	}
+}
+
+func TestSlotDist(t *testing.T) {
+	cases := []struct{ a, b, slots, want int }{
+		{0, 23, 24, 1},
+		{0, 12, 24, 12},
+		{5, 5, 24, 0},
+		{2, 20, 24, 6},
+	}
+	for _, c := range cases {
+		if got := slotDist(c.a, c.b, c.slots); got != c.want {
+			t.Errorf("slotDist(%d,%d,%d) = %d, want %d", c.a, c.b, c.slots, got, c.want)
+		}
+	}
+}
+
+func TestEntriesCopy(t *testing.T) {
+	db := NewDB(24)
+	db.Store(Entry{From: 0, To: 3, Route: top(), Confidence: 1})
+	es := db.Entries()
+	if len(es) != 1 {
+		t.Fatalf("Entries = %d", len(es))
+	}
+	es[0].From = 99
+	if db.Entries()[0].From == 99 {
+		t.Error("Entries must return a copy")
+	}
+}
+
+func TestNewDBDefaultSlots(t *testing.T) {
+	db := NewDB(0)
+	if db.Slots() != 24 {
+		t.Errorf("default slots = %d", db.Slots())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				db.Store(Entry{From: 0, To: 3, Slot: j % 24, Route: top(), Confidence: 0.8})
+				db.Lookup(0, 3, routing.At(0, j%24, 0))
+				db.Confidence(g, top(), routing.At(0, j%24, 0), 100, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if db.Len() != 400 {
+		t.Errorf("Len = %d, want 400", db.Len())
+	}
+}
+
+func TestConfidenceRange(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	tm := routing.At(0, 9, 0)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 0.7})
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: bottom(), Confidence: 0.7})
+	for _, r := range []roadnet.Route{top(), bottom()} {
+		c := db.Confidence(g, r, tm, 100, 1)
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			t.Errorf("confidence out of range: %v", c)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package worker
+
+import (
+	"math"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/landmark"
+)
+
+// FamiliarityConfig carries the constants of the paper's familiarity score
+// f_w^l = α·exp{−(d(l,home)+d(l,work)+d(l,fr))/scale} + (1−α)(#correct + β·#wrong).
+type FamiliarityConfig struct {
+	Alpha float64 // α: weight of profile proximity vs answer history
+	Beta  float64 // β < 1: the gain of a wrong answer (still shows exposure)
+	// DistScale converts meters to the exponent's unit; the paper leaves
+	// units implicit, we use a soft kilometre scale.
+	DistScale float64
+	// EtaDis (η_dis) is the cutoff beyond which a landmark contributes no
+	// knowledge: d(l,·) > EtaDis is treated as +∞ (term vanishes).
+	EtaDis float64
+}
+
+// DefaultFamiliarityConfig mirrors the paper's qualitative choices. The
+// distance constants assume a city a few kilometres across: people know the
+// ~800 m around their anchors well and next to nothing beyond.
+func DefaultFamiliarityConfig() FamiliarityConfig {
+	return FamiliarityConfig{
+		Alpha:     0.6,
+		Beta:      0.3,
+		DistScale: 600,
+		EtaDis:    800,
+	}
+}
+
+// Score computes f_w^l, the raw familiarity of worker w with landmark l.
+func Score(w *Worker, l *landmark.Landmark, cfg FamiliarityConfig) float64 {
+	// Profile term: distances beyond EtaDis are +∞ (the paper's
+	// simplification), which zeroes their exponential contribution. Each
+	// profile anchor contributes independently so living near OR working
+	// near the landmark is enough.
+	var expo float64
+	anchors := []geo.Point{w.Profile.Home, w.Profile.Work}
+	anchors = append(anchors, w.Profile.Familiar...)
+	sum := 0.0
+	found := false
+	for _, a := range anchors {
+		d := geo.Dist(a, l.Pt)
+		if d > cfg.EtaDis {
+			continue // treated as +∞
+		}
+		sum += d
+		found = true
+	}
+	if found {
+		expo = math.Exp(-sum / cfg.DistScale)
+	}
+	// History term.
+	h := w.History[l.ID]
+	hist := float64(h.Correct) + cfg.Beta*float64(h.Wrong)
+	return cfg.Alpha*expo + (1-cfg.Alpha)*hist
+}
+
+// Matrix is the (sparse) worker×landmark familiarity matrix M of the paper,
+// with helpers to densify (PMF) and spatially accumulate it.
+type Matrix struct {
+	Workers   int
+	Landmarks int
+	vals      map[int64]float64
+}
+
+// NewMatrix creates an empty matrix of the given shape.
+func NewMatrix(workers, landmarks int) *Matrix {
+	return &Matrix{Workers: workers, Landmarks: landmarks, vals: make(map[int64]float64)}
+}
+
+func key(w, l int) int64 { return int64(w)<<32 | int64(uint32(l)) }
+
+// Set stores a familiarity value.
+func (m *Matrix) Set(w, l int, v float64) {
+	m.vals[key(w, l)] = v
+}
+
+// Get returns the value and whether it is observed.
+func (m *Matrix) Get(w, l int) (float64, bool) {
+	v, ok := m.vals[key(w, l)]
+	return v, ok
+}
+
+// NonZeros returns the number of observed entries.
+func (m *Matrix) NonZeros() int { return len(m.vals) }
+
+// Each iterates over observed entries.
+func (m *Matrix) Each(fn func(w, l int, v float64)) {
+	for k, v := range m.vals {
+		fn(int(k>>32), int(uint32(k)), v)
+	}
+}
+
+// BuildMatrix computes the observed familiarity matrix from worker profiles
+// and histories. An entry is observed (stored) when it is positive: either
+// the landmark is within profile reach or the worker has history on it.
+func BuildMatrix(pool *Pool, lms *landmark.Set, cfg FamiliarityConfig) *Matrix {
+	m := NewMatrix(pool.Len(), lms.Len())
+	for wi, w := range pool.Workers {
+		// Profile reach: landmarks within EtaDis of any anchor.
+		anchors := []geo.Point{w.Profile.Home, w.Profile.Work}
+		anchors = append(anchors, w.Profile.Familiar...)
+		seen := map[landmark.ID]bool{}
+		for _, a := range anchors {
+			for _, l := range lms.Within(a, cfg.EtaDis) {
+				if !seen[l.ID] {
+					seen[l.ID] = true
+					if v := Score(w, l, cfg); v > 0 {
+						m.Set(wi, int(l.ID), v)
+					}
+				}
+			}
+		}
+		for lid := range w.History {
+			if !seen[lid] {
+				if l := lms.Get(lid); l != nil {
+					if v := Score(w, l, cfg); v > 0 {
+						m.Set(wi, int(lid), v)
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Accumulate computes the accumulated familiarity matrix M*: each (w, l)
+// entry is the Gaussian-weighted sum of w's familiarity with l and with all
+// landmarks within EtaDis of l — knowing a landmark implies knowing its
+// surroundings (paper: F_w^l = Σ δ_l' f_w^l', δ ~ N(d | 0, σ₀²), σ₀ =
+// η_dis/3).
+func Accumulate(m *Matrix, lms *landmark.Set, cfg FamiliarityConfig) *Matrix {
+	sigma := cfg.EtaDis / 3
+	if sigma <= 0 {
+		sigma = 1
+	}
+	// The paper weights by N(d | 0, σ₀²); we drop the density's 1/(σ√2π)
+	// prefactor so δ(0) = 1 and the accumulated scores stay on the same
+	// scale as the raw familiarity scores (the prefactor is a uniform
+	// rescaling that would otherwise shrink every score by ~3 orders of
+	// magnitude and is irrelevant to the rankings the selection uses).
+	gauss := func(d float64) float64 {
+		return math.Exp(-d * d / (2 * sigma * sigma))
+	}
+	// Precompute neighbourhood lists per landmark.
+	neighbors := make([][]int, lms.Len())
+	weights := make([][]float64, lms.Len())
+	for li, l := range lms.All() {
+		for _, nb := range lms.Within(l.Pt, cfg.EtaDis) {
+			neighbors[li] = append(neighbors[li], int(nb.ID))
+			weights[li] = append(weights[li], gauss(geo.Dist(l.Pt, nb.Pt)))
+		}
+	}
+	out := NewMatrix(m.Workers, m.Landmarks)
+	// Group observed entries per worker for locality.
+	perWorker := make([]map[int]float64, m.Workers)
+	m.Each(func(w, l int, v float64) {
+		if perWorker[w] == nil {
+			perWorker[w] = make(map[int]float64)
+		}
+		perWorker[w][l] = v
+	})
+	for w, obs := range perWorker {
+		if obs == nil {
+			continue
+		}
+		acc := map[int]float64{}
+		for l := range obs {
+			// w's knowledge of l radiates to all landmarks near l; or
+			// equivalently, F(w, lj) sums over observed l within range.
+			for i, nb := range neighbors[l] {
+				acc[nb] += weights[l][i] * obs[l]
+			}
+		}
+		for l, v := range acc {
+			if v > 0 {
+				out.Set(w, l, v)
+			}
+		}
+	}
+	return out
+}

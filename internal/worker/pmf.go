@@ -1,0 +1,160 @@
+package worker
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PMFConfig tunes Probabilistic Matrix Factorization (paper §IV-B, after
+// Mnih & Salakhutdinov [15]): M ≈ Wᵀ·L with Gaussian observation noise and
+// Gaussian priors on the latent factors, fitted by gradient descent on the
+// regularized squared error.
+type PMFConfig struct {
+	Factors   int     // latent dimensionality d
+	LambdaW   float64 // λ_W regularizer
+	LambdaL   float64 // λ_L regularizer
+	LearnRate float64
+	Iters     int
+	Seed      int64
+}
+
+// DefaultPMFConfig works well on the synthetic familiarity matrices.
+func DefaultPMFConfig() PMFConfig {
+	return PMFConfig{
+		Factors:   8,
+		LambdaW:   0.05,
+		LambdaL:   0.05,
+		LearnRate: 0.015,
+		Iters:     200,
+		Seed:      41,
+	}
+}
+
+// PMFModel holds the fitted latent factors plus the global bias (the mean
+// observed familiarity). Factors model residuals around the bias, so
+// entirely unobserved workers/landmarks fall back to the global mean rather
+// than zero — without this, extreme sparsity would make the factorization
+// worse than predicting the mean.
+type PMFModel struct {
+	W    [][]float64 // Workers × Factors
+	L    [][]float64 // Landmarks × Factors
+	Bias float64
+}
+
+// Predict returns the reconstructed familiarity for (worker, landmark).
+// Predictions are clamped at 0 (familiarity is non-negative).
+func (m *PMFModel) Predict(w, l int) float64 {
+	if w < 0 || w >= len(m.W) || l < 0 || l >= len(m.L) {
+		return 0
+	}
+	dot := m.Bias
+	for k := range m.W[w] {
+		dot += m.W[w][k] * m.L[l][k]
+	}
+	if dot < 0 {
+		return 0
+	}
+	return dot
+}
+
+// FitPMF factorizes the observed matrix by batch gradient descent on
+//
+//	Σ_{ij observed} (M_ij − W_i·L_j)² + λ_W Σ‖W_i‖² + λ_L Σ‖L_j‖²
+//
+// returning the fitted model.
+func FitPMF(m *Matrix, cfg PMFConfig) *PMFModel {
+	if cfg.Factors <= 0 {
+		cfg.Factors = DefaultPMFConfig().Factors
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = DefaultPMFConfig().Iters
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = DefaultPMFConfig().LearnRate
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &PMFModel{
+		W: randMatrix(rng, m.Workers, cfg.Factors),
+		L: randMatrix(rng, m.Landmarks, cfg.Factors),
+	}
+	type obs struct {
+		w, l int
+		v    float64
+	}
+	var observations []obs
+	var sum float64
+	m.Each(func(w, l int, v float64) {
+		observations = append(observations, obs{w, l, v})
+		sum += v
+	})
+	if len(observations) == 0 {
+		return model
+	}
+	model.Bias = sum / float64(len(observations))
+	lr := cfg.LearnRate
+	for iter := 0; iter < cfg.Iters; iter++ {
+		for _, o := range observations {
+			wi := model.W[o.w]
+			lj := model.L[o.l]
+			pred := model.Bias
+			for k := 0; k < cfg.Factors; k++ {
+				pred += wi[k] * lj[k]
+			}
+			err := o.v - pred
+			for k := 0; k < cfg.Factors; k++ {
+				gw := -2*err*lj[k] + 2*cfg.LambdaW*wi[k]
+				gl := -2*err*wi[k] + 2*cfg.LambdaL*lj[k]
+				wi[k] -= lr * gw
+				lj[k] -= lr * gl
+			}
+		}
+	}
+	return model
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * 0.1
+		}
+	}
+	return m
+}
+
+// Densify fills the unobserved entries of m with PMF predictions above the
+// given floor, returning a new matrix that keeps all observed entries
+// verbatim. This is the paper's "more familiarity scores between workers
+// and landmarks are inferred in M".
+func Densify(m *Matrix, model *PMFModel, floor float64) *Matrix {
+	out := NewMatrix(m.Workers, m.Landmarks)
+	m.Each(func(w, l int, v float64) { out.Set(w, l, v) })
+	for w := 0; w < m.Workers; w++ {
+		for l := 0; l < m.Landmarks; l++ {
+			if _, ok := m.Get(w, l); ok {
+				continue
+			}
+			if v := model.Predict(w, l); v > floor {
+				out.Set(w, l, v)
+			}
+		}
+	}
+	return out
+}
+
+// RMSE computes the root-mean-squared error of the model on the observed
+// entries of m (training error) — used by the E5 experiment.
+func RMSE(m *Matrix, model *PMFModel) float64 {
+	var sum float64
+	var n int
+	m.Each(func(w, l int, v float64) {
+		d := v - model.Predict(w, l)
+		sum += d * d
+		n++
+	})
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}

@@ -1,0 +1,192 @@
+package worker
+
+import (
+	"math"
+	"sort"
+
+	"crowdplanner/internal/landmark"
+)
+
+// SelectConfig carries the eligibility thresholds of paper §IV.
+type SelectConfig struct {
+	// MaxOutstanding is η_#q: workers at or above this many outstanding
+	// tasks are skipped (quota condition 1).
+	MaxOutstanding int
+	// EtaTime is η_time: minimum acceptable probability of answering within
+	// the deadline (condition 2).
+	EtaTime float64
+	// DeadlineMinutes is the user-specified response time t.
+	DeadlineMinutes float64
+}
+
+// DefaultSelectConfig allows 5 outstanding tasks and requires a 70% chance
+// of answering within 60 minutes.
+func DefaultSelectConfig() SelectConfig {
+	return SelectConfig{MaxOutstanding: 5, EtaTime: 0.7, DeadlineMinutes: 60}
+}
+
+// Ranked is a worker with its selection score.
+type Ranked struct {
+	Worker *Worker
+	Score  float64
+}
+
+// TopKEligible returns the k most eligible workers for a task asking about
+// the given landmarks (paper §IV-C):
+//
+//  1. filter by quota and by response probability 1 − e^{−λt} ≥ η_time;
+//  2. candidate workers are those with accumulated familiarity > 0 on any
+//     task landmark;
+//  3. every task landmark ranks the candidates by its familiarity column
+//     and votes with preference 1 − (rank−1)/|W_l| (rated voting);
+//  4. the k workers with the highest summed preference win.
+//
+// The returned slice is ordered by descending score, ties broken by worker
+// ID for determinism.
+func TopKEligible(pool *Pool, mstar *Matrix, taskLandmarks []landmark.ID, k int, cfg SelectConfig) []Ranked {
+	if k <= 0 || len(taskLandmarks) == 0 {
+		return nil
+	}
+	// Conditions 1 & 2: quota and response time.
+	eligible := make(map[int]bool, pool.Len())
+	for i, w := range pool.Workers {
+		if cfg.MaxOutstanding > 0 && w.Outstanding >= cfg.MaxOutstanding {
+			continue
+		}
+		if w.ResponseProb(cfg.DeadlineMinutes) < cfg.EtaTime {
+			continue
+		}
+		eligible[i] = true
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+
+	// Condition 3: candidate workers W = ∪_l W_l restricted to eligible.
+	type wf struct {
+		worker int
+		f      float64
+	}
+	perLandmark := make([][]wf, 0, len(taskLandmarks))
+	candidates := map[int]bool{}
+	for _, lid := range taskLandmarks {
+		var col []wf
+		for i := range pool.Workers {
+			if !eligible[i] {
+				continue
+			}
+			if f, ok := mstar.Get(i, int(lid)); ok && f > 0 {
+				col = append(col, wf{worker: i, f: f})
+				candidates[i] = true
+			}
+		}
+		perLandmark = append(perLandmark, col)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Rated voting: each landmark ranks its knowledgeable candidates and
+	// awards preference 1 − (rank−1)/|W_l|.
+	scores := map[int]float64{}
+	for _, col := range perLandmark {
+		sort.Slice(col, func(a, b int) bool {
+			if col[a].f != col[b].f {
+				return col[a].f > col[b].f
+			}
+			return col[a].worker < col[b].worker
+		})
+		n := float64(len(col))
+		for rank, entry := range col {
+			pref := 1 - float64(rank)/n
+			scores[entry.worker] += pref
+		}
+	}
+
+	ranked := make([]Ranked, 0, len(scores))
+	for wi, s := range scores {
+		ranked = append(ranked, Ranked{Worker: pool.Workers[wi], Score: s})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].Score != ranked[b].Score {
+			return ranked[a].Score > ranked[b].Score
+		}
+		return ranked[a].Worker.ID < ranked[b].Worker.ID
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// SumFamiliarityTopK is the naive alternative the paper argues against
+// (raw familiarity sums bias towards narrow one-landmark experts); kept as
+// the ablation baseline for E4/ablation benches.
+func SumFamiliarityTopK(pool *Pool, mstar *Matrix, taskLandmarks []landmark.ID, k int, cfg SelectConfig) []Ranked {
+	if k <= 0 || len(taskLandmarks) == 0 {
+		return nil
+	}
+	var ranked []Ranked
+	for i, w := range pool.Workers {
+		if cfg.MaxOutstanding > 0 && w.Outstanding >= cfg.MaxOutstanding {
+			continue
+		}
+		if w.ResponseProb(cfg.DeadlineMinutes) < cfg.EtaTime {
+			continue
+		}
+		var sum float64
+		for _, lid := range taskLandmarks {
+			if f, ok := mstar.Get(i, int(lid)); ok {
+				sum += f
+			}
+		}
+		if sum > 0 {
+			ranked = append(ranked, Ranked{Worker: w, Score: sum})
+		}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].Score != ranked[b].Score {
+			return ranked[a].Score > ranked[b].Score
+		}
+		return ranked[a].Worker.ID < ranked[b].Worker.ID
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// Coverage reports the fraction of task landmarks on which the worker has
+// positive accumulated familiarity — the knowledge-coverage notion behind
+// the paper's w1/w2 example.
+func Coverage(mstar *Matrix, workerIdx int, taskLandmarks []landmark.ID) float64 {
+	if len(taskLandmarks) == 0 {
+		return 0
+	}
+	known := 0
+	for _, lid := range taskLandmarks {
+		if f, ok := mstar.Get(workerIdx, int(lid)); ok && f > 0 {
+			known++
+		}
+	}
+	return float64(known) / float64(len(taskLandmarks))
+}
+
+// MeanScore returns the mean selection score of a ranked slice (0 for
+// empty), a convenience for experiments.
+func MeanScore(rs []Ranked) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Score
+	}
+	return sum / float64(len(rs))
+}
+
+// LogNormalLambda draws a response rate around mean with the given sigma;
+// exposed for experiment workloads.
+func LogNormalLambda(mean, sigma, u float64) float64 {
+	return mean * math.Exp(sigma*u)
+}

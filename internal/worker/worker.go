@@ -1,0 +1,163 @@
+// Package worker implements CrowdPlanner's worker selection component
+// (paper §IV): familiarity scores from worker profiles and answer history,
+// densification of the sparse worker-landmark matrix with Probabilistic
+// Matrix Factorization, Gaussian spatial accumulation, response-time
+// filtering under an exponential model, and top-k eligible worker selection
+// by rated voting.
+package worker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/landmark"
+)
+
+// ID identifies a worker.
+type ID int32
+
+// Profile is the registration information the paper collects: home address,
+// work place and familiar suburbs.
+type Profile struct {
+	Home     geo.Point
+	Work     geo.Point
+	Familiar []geo.Point // additional familiar suburb centers
+}
+
+// History tracks a worker's past answers about one landmark.
+type History struct {
+	Correct int
+	Wrong   int
+}
+
+// Worker is a crowd worker.
+type Worker struct {
+	ID      ID
+	Profile Profile
+	// Lambda is the rate of the exponential response-time distribution
+	// (answers per minute); higher responds faster (paper §IV-A).
+	Lambda float64
+	// Outstanding is the number of tasks currently assigned.
+	Outstanding int
+	// History maps landmark → answer history (the #correct/#wrong of the
+	// familiarity formula).
+	History map[landmark.ID]History
+	// Reward is the accumulated reward balance (paper's rewarding
+	// component).
+	Reward float64
+}
+
+// RecordAnswer updates the worker's history for a landmark.
+func (w *Worker) RecordAnswer(l landmark.ID, correct bool) {
+	if w.History == nil {
+		w.History = make(map[landmark.ID]History)
+	}
+	h := w.History[l]
+	if correct {
+		h.Correct++
+	} else {
+		h.Wrong++
+	}
+	w.History[l] = h
+}
+
+// ResponseProb returns P(respond within t minutes) = 1 − e^{−λt}, the
+// paper's exponential response model.
+func (w *Worker) ResponseProb(tMinutes float64) float64 {
+	if tMinutes <= 0 || w.Lambda <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-w.Lambda*tMinutes)
+}
+
+// Pool is a population of workers.
+type Pool struct {
+	Workers []*Worker
+}
+
+// Get returns the worker with the given ID, or nil.
+func (p *Pool) Get(id ID) *Worker {
+	if int(id) < 0 || int(id) >= len(p.Workers) {
+		return nil
+	}
+	return p.Workers[id]
+}
+
+// Len returns the pool size.
+func (p *Pool) Len() int { return len(p.Workers) }
+
+// GenConfig configures synthetic worker-pool generation.
+type GenConfig struct {
+	NumWorkers int
+	// MeanLambda is the average response rate (answers/minute); individual
+	// rates are log-normal around it.
+	MeanLambda float64
+	// HistoryLandmarks seeds each worker with history on this many nearby
+	// landmarks (what the paper accumulates as workers answer tasks).
+	HistoryLandmarks int
+	// HistoryRadius bounds how far seeded history landmarks may be from the
+	// worker's home.
+	HistoryRadius float64
+	Seed          int64
+}
+
+// DefaultGenConfig returns 300 workers with sparse seeded history.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		NumWorkers:       300,
+		MeanLambda:       1.0 / 15, // respond in ~15 minutes on average
+		HistoryLandmarks: 6,
+		HistoryRadius:    1000,
+		Seed:             31,
+	}
+}
+
+// GeneratePool creates workers with homes/workplaces inside bounds and
+// seeded answer history on landmarks near home. Workers living near a
+// landmark mostly answered correctly about it, wiring the simulation's
+// familiarity signal to geography the same way the paper assumes.
+func GeneratePool(bounds geo.BBox, lms *landmark.Set, cfg GenConfig) *Pool {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool := &Pool{}
+	randPt := func() geo.Point {
+		return geo.Point{
+			X: bounds.Min.X + rng.Float64()*bounds.Width(),
+			Y: bounds.Min.Y + rng.Float64()*bounds.Height(),
+		}
+	}
+	for i := 0; i < cfg.NumWorkers; i++ {
+		w := &Worker{
+			ID:      ID(i),
+			History: make(map[landmark.ID]History),
+			Profile: Profile{
+				Home: randPt(),
+				Work: randPt(),
+			},
+		}
+		if rng.Float64() < 0.5 {
+			w.Profile.Familiar = append(w.Profile.Familiar, randPt())
+		}
+		// Log-normal response rate around the mean.
+		w.Lambda = cfg.MeanLambda * math.Exp(rng.NormFloat64()*0.6)
+
+		near := lms.Within(w.Profile.Home, cfg.HistoryRadius)
+		rng.Shuffle(len(near), func(a, b int) { near[a], near[b] = near[b], near[a] })
+		for k := 0; k < cfg.HistoryLandmarks && k < len(near); k++ {
+			l := near[k]
+			answers := 1 + rng.Intn(4)
+			for a := 0; a < answers; a++ {
+				// Near-home answers are mostly correct.
+				w.RecordAnswer(l.ID, rng.Float64() < 0.85)
+			}
+		}
+		pool.Workers = append(pool.Workers, w)
+	}
+	return pool
+}
+
+// String implements fmt.Stringer.
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker%d(home=%v λ=%.3f)", w.ID, w.Profile.Home, w.Lambda)
+}
