@@ -6,6 +6,7 @@
 package crowdplanner_test
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"crowdplanner"
@@ -218,8 +219,33 @@ func BenchmarkRecommendEndToEnd(b *testing.B) {
 }
 
 func BenchmarkRecommendColdEndToEnd(b *testing.B) {
-	// Cold path: truth reuse disabled, every request runs the full
-	// candidate generation + evaluation (+ possibly crowd) pipeline.
+	// Cold path: truth reuse and the route cache disabled, every request
+	// runs the full candidate generation + evaluation (+ possibly crowd)
+	// pipeline from scratch.
+	scn := scenario(b)
+	cfg := scn.System.Config()
+	cfg.ReuseTruth = false
+	cfg.RouteCacheCapacity = 0
+	sys := crowdplanner.NewSystem(cfg, scn.Graph, scn.Landmarks, scn.Data, scn.Pool,
+		&populationOracle{scn})
+	trips := scn.Data.Trips
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trips[i%len(trips)]
+		if tr.Route.Empty() {
+			continue
+		}
+		_, _ = sys.Recommend(crowdplanner.Request{
+			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
+		})
+	}
+}
+
+func BenchmarkRecommendColdCached(b *testing.B) {
+	// Cold truths, warm route cache: truth reuse disabled so every request
+	// runs the full evaluation, but repeat OD pairs hit the candidate
+	// cache and skip Dijkstra/Yen/mining. Compare against
+	// BenchmarkRecommendColdEndToEnd for the cache's effect.
 	scn := scenario(b)
 	cfg := scn.System.Config()
 	cfg.ReuseTruth = false
@@ -236,6 +262,44 @@ func BenchmarkRecommendColdEndToEnd(b *testing.B) {
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		})
 	}
+}
+
+func BenchmarkRecommendParallel(b *testing.B) {
+	// Parallel throughput on the evaluation path with a warm route cache:
+	// the same workload as BenchmarkRecommendColdCached (the serial
+	// baseline), issued from GOMAXPROCS goroutines. Truth reuse is off, so
+	// every request runs candidate evaluation; the route cache absorbs the
+	// graph searches and fine-grained locking lets the rest scale with
+	// cores — per-op wall time should be well under half the serial
+	// baseline's.
+	scn := scenario(b)
+	cfg := scn.System.Config()
+	cfg.ReuseTruth = false
+	sys := crowdplanner.NewSystem(cfg, scn.Graph, scn.Landmarks, scn.Data, scn.Pool,
+		&populationOracle{scn})
+	trips := scn.Data.Trips
+	// Pre-warm: one pass over the distinct ODs fills the route cache.
+	for _, tr := range trips {
+		if tr.Route.Empty() {
+			continue
+		}
+		_, _ = sys.Recommend(crowdplanner.Request{
+			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
+		})
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr := trips[int(ctr.Add(1))%len(trips)]
+			if tr.Route.Empty() {
+				continue
+			}
+			_, _ = sys.Recommend(crowdplanner.Request{
+				From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
+			})
+		}
+	})
 }
 
 // populationOracle adapts the scenario's dataset as the crowd's knowledge

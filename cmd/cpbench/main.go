@@ -1,11 +1,14 @@
 // Command cpbench regenerates the tables and figures of the reconstructed
-// evaluation (DESIGN.md §4, EXPERIMENTS.md).
+// evaluation (DESIGN.md §4, EXPERIMENTS.md), and doubles as a serving-path
+// throughput harness.
 //
 // Usage:
 //
 //	cpbench -exp all            # every experiment at full scale
 //	cpbench -exp E1,E4 -scale 0.5
 //	cpbench -list
+//	cpbench -parallel 8         # throughput mode: hammer Recommend from 8 goroutines
+//	cpbench -parallel 1 -requests 5000 -cold
 package main
 
 import (
@@ -13,21 +16,36 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"crowdplanner/internal/core"
 	"crowdplanner/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md scale)")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md scale)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		parallel = flag.Int("parallel", 0, "throughput mode: serve Recommend from N goroutines instead of running experiments")
+		requests = flag.Int("requests", 4000, "throughput mode: total requests to issue")
+		cold     = flag.Bool("cold", false, "throughput mode: disable truth reuse (full evaluation every request)")
+		nocache  = flag.Bool("nocache", false, "throughput mode: disable the route cache as well")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, s := range experiments.Registry() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+	if *parallel > 0 {
+		if err := runThroughput(*parallel, *requests, *cold, *nocache); err != nil {
+			fmt.Fprintln(os.Stderr, "cpbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -43,4 +61,85 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runThroughput measures end-to-end Recommend throughput over the standard
+// small scenario: `requests` trip-derived requests spread across `workers`
+// goroutines. With -cold, truth reuse is disabled so every request runs the
+// full evaluation (the route cache then absorbs the repeat graph searches;
+// add -nocache to measure the uncached pipeline). Otherwise the run reports
+// the steady-state (truth reuse) serving rate.
+func runThroughput(workers, requests int, cold, nocache bool) error {
+	cfg := core.SmallScenarioConfig()
+	if cold {
+		cfg.System.ReuseTruth = false
+	}
+	if nocache {
+		cfg.System.RouteCacheCapacity = 0
+	}
+	fmt.Printf("building scenario (%dx%d city, %d workers)...\n",
+		cfg.City.Cols, cfg.City.Rows, cfg.Workers.NumWorkers)
+	scn := core.BuildScenario(cfg)
+
+	var reqs []core.Request
+	for _, tr := range scn.Data.Trips {
+		if tr.Route.Empty() {
+			continue
+		}
+		reqs = append(reqs, core.Request{
+			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
+		})
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("scenario produced no usable trips")
+	}
+
+	var (
+		next   atomic.Int64
+		errs   atomic.Int64
+		stages [5]atomic.Int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(requests) {
+					return
+				}
+				resp, err := scn.System.Recommend(reqs[i%int64(len(reqs))])
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if st := int(resp.Stage); st >= 0 && st < len(stages) {
+					stages[st].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mode := "warm"
+	if cold {
+		mode = "cold"
+	}
+	fmt.Printf("\n== throughput (%s, parallel=%d) ==\n", mode, workers)
+	fmt.Printf("  requests   %d (%d errors)\n", requests, errs.Load())
+	fmt.Printf("  elapsed    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  rate       %.0f req/s\n", float64(requests)/elapsed.Seconds())
+	for st := range stages {
+		if n := stages[st].Load(); n > 0 {
+			fmt.Printf("  stage %-10s %d\n", core.Stage(st), n)
+		}
+	}
+	cs := scn.System.RouteCacheStats()
+	fmt.Printf("  route cache  hits=%d misses=%d (%.0f%% hit) size=%d/%d evictions=%d invalidations=%d\n",
+		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Size, cs.Capacity, cs.Evictions, cs.Invalidations)
+	fmt.Printf("  truths       %d\n", scn.System.TruthDB().Len())
+	return nil
 }

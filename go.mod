@@ -1,0 +1,3 @@
+module crowdplanner
+
+go 1.24

@@ -46,6 +46,11 @@ func (s TaskState) String() string {
 }
 
 // PendingTask is a crowd task awaiting worker answers.
+//
+// ID, Req, Task and Assigned are immutable after publication. State, Result
+// and the tree cursor mutate under the owning system's lock as answers
+// arrive; concurrent observers (e.g. a state poll racing an answer) must
+// read them through CurrentQuestion/Status rather than the raw fields.
 type PendingTask struct {
 	ID       int64
 	Req      Request
@@ -54,6 +59,7 @@ type PendingTask struct {
 	State    TaskState
 	Result   *Response // non-nil once resolved or expired
 
+	owner    *System        // whose mu guards the mutable fields below
 	node     *task.TreeNode // current position in the question tree
 	answers  []crowd.Answer // answers to the current question
 	answered map[worker.ID]bool
@@ -62,13 +68,32 @@ type PendingTask struct {
 	answersUsed   int
 }
 
+// lock takes the owning system's lock (no-op for a zero PendingTask).
+func (p *PendingTask) lock() func() {
+	if p.owner == nil {
+		return func() {}
+	}
+	p.owner.mu.Lock()
+	return p.owner.mu.Unlock
+}
+
 // CurrentQuestion returns the landmark currently being asked; ok is false
-// once the task is no longer open.
+// once the task is no longer open. Safe against concurrent SubmitAnswer
+// calls advancing the task.
 func (p *PendingTask) CurrentQuestion() (landmark.ID, bool) {
+	defer p.lock()()
 	if p.State != TaskOpen || p.node == nil || p.node.IsLeaf() {
 		return 0, false
 	}
 	return p.node.Landmark, true
+}
+
+// Status returns the task's lifecycle state and final result (nil while
+// open) as one consistent snapshot, synchronized against concurrent
+// SubmitAnswer/ExpireTask calls.
+func (p *PendingTask) Status() (TaskState, *Response) {
+	defer p.lock()()
+	return p.State, p.Result
 }
 
 // IsAssigned reports whether the worker is assigned to this task.
@@ -123,7 +148,18 @@ func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
 	if req.DeadlineMin > 0 {
 		selCfg.DeadlineMinutes = req.DeadlineMin
 	}
+	s.poolMu.RLock()
 	assigned := worker.TopKEligible(s.pool, mstar, tk.Questions, s.cfg.WorkersPerTask, selCfg)
+	s.poolMu.RUnlock()
+	if len(assigned) == 0 {
+		best := bestByConsensus(merged)
+		s.storeTruth(req, best.Route, 0.5, false)
+		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil, nil
+	}
+
+	// Claim the workers (quota re-checked under the write lock) before any
+	// resolution path, so finishPending's decrement is always balanced.
+	assigned = s.claimWorkers(assigned, selCfg)
 	if len(assigned) == 0 {
 		best := bestByConsensus(merged)
 		s.storeTruth(req, best.Route, 0.5, false)
@@ -132,7 +168,7 @@ func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
 
 	p := &PendingTask{
 		ID: id, Req: req, Task: tk, Assigned: assigned,
-		State: TaskOpen, node: tk.Tree,
+		State: TaskOpen, node: tk.Tree, owner: s,
 		answered: make(map[worker.ID]bool),
 	}
 	// A degenerate tree (single candidate after merge handled above, but a
@@ -147,9 +183,6 @@ func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
 		s.pending = make(map[int64]*PendingTask)
 	}
 	s.pending[id] = p
-	for _, r := range assigned {
-		r.Worker.Outstanding++
-	}
 	s.mu.Unlock()
 	return nil, p, nil
 }
@@ -304,7 +337,9 @@ func (s *System) advancePending(p *PendingTask, yes bool) {
 	for i := range p.answers {
 		p.answers[i].Correct = p.answers[i].Yes == yes
 	}
+	s.poolMu.Lock()
 	crowd.Reward(s.pool, lm, p.answers, len(p.answers), s.cfg.Rewards)
+	s.poolMu.Unlock()
 	p.questionsUsed++
 	p.answersUsed += len(p.answers)
 	p.answers = nil
@@ -357,11 +392,13 @@ func (s *System) finishPending(p *PendingTask, state TaskState, confOverride flo
 		Candidates: p.Task.Candidates, Task: p.Task, Run: &run, Workers: p.Assigned,
 	}
 	p.State = state
+	s.poolMu.Lock()
 	for _, r := range p.Assigned {
 		if r.Worker.Outstanding > 0 {
 			r.Worker.Outstanding--
 		}
 	}
+	s.poolMu.Unlock()
 }
 
 func indexOf(cands []task.Candidate, c task.Candidate) int {

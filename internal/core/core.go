@@ -18,6 +18,7 @@ import (
 	"crowdplanner/internal/landmark"
 	"crowdplanner/internal/popular"
 	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routecache"
 	"crowdplanner/internal/routing"
 	"crowdplanner/internal/task"
 	"crowdplanner/internal/traj"
@@ -83,6 +84,13 @@ type Config struct {
 	// (k-shortest by travel time) to the candidate set when positive.
 	KShortestAlternatives int
 
+	// RouteCacheCapacity bounds the sharded LRU cache of generated
+	// candidate sets, keyed by (from, to, departure slot). Repeat OD pairs
+	// within a slot skip graph search and mining entirely; entries are
+	// invalidated when a new truth lands for their key. <= 0 disables the
+	// cache (every request regenerates candidates from scratch).
+	RouteCacheCapacity int
+
 	Calibrate calibrate.Config
 	Task      task.Config
 
@@ -121,6 +129,7 @@ func DefaultConfig() Config {
 		TruthRadius:           600,
 		TruthSlotTol:          1,
 		KShortestAlternatives: 2,
+		RouteCacheCapacity:    4096,
 		Calibrate:             calibrate.DefaultConfig(),
 		Task:                  task.DefaultConfig(),
 		Familiarity:           worker.DefaultFamiliarityConfig(),
@@ -154,7 +163,16 @@ func (o *PopulationOracle) BestRoute(from, to roadnet.NodeID, t routing.SimTime)
 	return o.Data.GroundTruth(from, to, t, o.Sample)
 }
 
-// System is a fully assembled CrowdPlanner instance.
+// System is a fully assembled CrowdPlanner instance. It is safe for
+// concurrent use: requests may be served from many goroutines at once.
+//
+// Shared state is guarded by two locks with fine-grained scopes (DESIGN.md
+// §6). mu covers task bookkeeping (ID allocation, the pending-task map) and
+// the familiarity-matrix pointers; poolMu covers the mutable worker state
+// (Outstanding counters, rewards, answer history). Neither lock is ever
+// held across a crowd simulation, a graph search, or an oracle call. The
+// lock order is mu before poolMu; randomness is per task (see taskSeed), so
+// concurrent tasks never contend on — or perturb — a shared RNG stream.
 type System struct {
 	cfg       Config
 	graph     *roadnet.Graph
@@ -164,14 +182,16 @@ type System struct {
 	pool      *worker.Pool
 	miners    []popular.Miner
 	oracle    Oracle
+	routes    *routecache.Cache[[]task.Candidate] // generated candidates by OD+slot
 
 	mu         sync.Mutex
 	mstar      *worker.Matrix // system's estimate (PMF-densified, accumulated)
 	mtrue      *worker.Matrix // workers' actual knowledge (no PMF inference)
-	rng        *rand.Rand
 	nextTaskID int64
 	pending    map[int64]*PendingTask // async crowd tasks awaiting answers
-	reliance   *reliabilityTracker    // per-source precision (future work §VI)
+
+	poolMu   sync.RWMutex        // guards Outstanding/Reward/History on pool workers
+	reliance *reliabilityTracker // per-source precision (future work §VI)
 }
 
 // New assembles a system over the given substrates. The landmark set must
@@ -186,11 +206,22 @@ func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, po
 		pool:      pool,
 		miners:    []popular.Miner{popular.NewMPR(), popular.NewLDR(), popular.NewMFP()},
 		oracle:    oracle,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		routes:    routecache.New[[]task.Candidate](cfg.RouteCacheCapacity),
 		reliance:  newReliabilityTracker(),
 	}
 	s.RefreshFamiliarity()
 	return s
+}
+
+// taskSeed derives a per-task RNG seed from the configured seed and the
+// task ID (splitmix64 finalizer). Each crowd task draws from its own
+// deterministic stream: single-threaded runs reproduce exactly for a fixed
+// Config.Seed, and concurrent tasks stay independent of scheduling order.
+func taskSeed(seed, id int64) int64 {
+	z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // Graph exposes the road network.
@@ -217,7 +248,9 @@ func (s *System) Config() Config { return s.cfg }
 // genuinely knowledgeable workers. Call after batches of crowd work to fold
 // new history into selection.
 func (s *System) RefreshFamiliarity() {
+	s.poolMu.RLock()
 	m := worker.BuildMatrix(s.pool, s.landmarks, s.cfg.Familiarity)
+	s.poolMu.RUnlock()
 	mtrue := worker.Accumulate(m, s.landmarks, s.cfg.Familiarity)
 	est := m
 	if s.cfg.UsePMF {
@@ -296,59 +329,184 @@ func (s *System) Candidates(req Request) []task.Candidate {
 	return s.generateCandidates(req)
 }
 
+// proposal is one provider's route suggestion.
+type proposal struct {
+	source string
+	route  roadnet.Route
+}
+
+// cacheKey quantizes a request to its route-cache key, using the truth
+// database's slot granularity so cache invalidation lines up with truth
+// tags.
+func (s *System) cacheKey(req Request) routecache.Key {
+	return routecache.Key{
+		From: int64(req.From),
+		To:   int64(req.To),
+		Slot: req.Depart.Slot(s.cfg.TruthSlots),
+	}
+}
+
 // generateCandidates collects routes from the web-service providers and the
 // popular-route miners, calibrates them to landmark-based form, and dedups
-// identical node sequences (merging provenance).
+// identical node sequences (merging provenance). The providers are
+// independent pure searches, so they fan out across goroutines; the merge
+// happens in a fixed provider order, keeping the result identical to a
+// sequential run. Generated sets are cached by (from, to, depart-slot) so
+// repeat OD pairs skip graph search entirely.
 func (s *System) generateCandidates(req Request) []task.Candidate {
-	type proposal struct {
-		source string
-		route  roadnet.Route
+	key := s.cacheKey(req)
+	if cached, ok := s.routes.Get(key); ok {
+		// Candidates are value structs; hand back a fresh slice so callers
+		// can fill in priors without mutating the shared cached copy.
+		out := make([]task.Candidate, len(cached))
+		copy(out, cached)
+		return out
 	}
-	var proposals []proposal
-	if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.DistanceCost, req.Depart); err == nil {
-		proposals = append(proposals, proposal{"ws-shortest", r})
-	}
-	if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart); err == nil {
-		proposals = append(proposals, proposal{"ws-fastest", r})
-	}
-	if k := s.cfg.KShortestAlternatives; k > 0 {
-		if rs, _, err := routing.KShortest(s.graph, req.From, req.To, k+1, routing.TravelTimeCost, req.Depart); err == nil {
-			for i, r := range rs {
-				if i == 0 {
-					continue // same as ws-fastest
-				}
-				proposals = append(proposals, proposal{fmt.Sprintf("ws-alt%d", i), r})
-			}
-		}
-	}
-	for _, m := range s.miners {
-		if r, _, err := m.Mine(s.data, req.From, req.To, req.Depart); err == nil {
-			proposals = append(proposals, proposal{m.Name(), r})
-		}
-	}
+
+	proposals := s.proposeRoutes(req)
 
 	var cands []task.Candidate
 	seen := map[string]int{}
 	for _, p := range proposals {
-		key := p.route.String()
-		if i, ok := seen[key]; ok {
+		rk := p.route.String()
+		if i, ok := seen[rk]; ok {
 			cands[i].Source += "+" + p.source
 			continue
 		}
-		seen[key] = len(cands)
+		seen[rk] = len(cands)
 		cands = append(cands, task.Candidate{
 			Source: p.source,
 			Route:  p.route,
 			LRoute: calibrate.Calibrate(s.graph, s.landmarks, p.route, s.cfg.Calibrate),
 		})
 	}
+	if len(cands) > 0 {
+		s.routes.Put(key, append([]task.Candidate(nil), cands...))
+	}
 	return cands
+}
+
+// proposeRoutes runs every route provider concurrently — the two
+// shortest-path searches, the k-shortest alternatives, and the
+// popular-route miners — and returns their proposals merged in the fixed
+// provider order (deterministic regardless of goroutine scheduling). All
+// providers are read-only over immutable substrates, so no locking is
+// needed.
+func (s *System) proposeRoutes(req Request) []proposal {
+	slots := make([][]proposal, 3+len(s.miners))
+	var wg sync.WaitGroup
+	run := func(i int, f func() []proposal) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slots[i] = f()
+		}()
+	}
+	run(0, func() []proposal {
+		if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.DistanceCost, req.Depart); err == nil {
+			return []proposal{{"ws-shortest", r}}
+		}
+		return nil
+	})
+	run(1, func() []proposal {
+		if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart); err == nil {
+			return []proposal{{"ws-fastest", r}}
+		}
+		return nil
+	})
+	run(2, func() []proposal {
+		k := s.cfg.KShortestAlternatives
+		if k <= 0 {
+			return nil
+		}
+		rs, _, err := routing.KShortest(s.graph, req.From, req.To, k+1, routing.TravelTimeCost, req.Depart)
+		if err != nil {
+			return nil
+		}
+		var out []proposal
+		for i, r := range rs {
+			if i == 0 {
+				continue // same as ws-fastest
+			}
+			out = append(out, proposal{fmt.Sprintf("ws-alt%d", i), r})
+		}
+		return out
+	})
+	for mi, m := range s.miners {
+		run(3+mi, func() []proposal {
+			if r, _, err := m.Mine(s.data, req.From, req.To, req.Depart); err == nil {
+				return []proposal{{m.Name(), r}}
+			}
+			return nil
+		})
+	}
+	wg.Wait()
+
+	var out []proposal
+	for _, ps := range slots {
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// RouteCacheStats reports the candidate-cache counters (all zero when the
+// cache is disabled). Surfaced on GET /api/health.
+func (s *System) RouteCacheStats() routecache.Stats { return s.routes.Stats() }
+
+// claimWorkers increments Outstanding for the selected workers, re-checking
+// the quota condition under the write lock. TopKEligible checks the quota
+// under a read lock, so two concurrent requests can both select a worker
+// with one slot left; re-checking at claim time keeps η_#q a hard bound.
+// The returned slice keeps only the workers actually claimed (selection
+// order preserved); the caller owns the matching decrements.
+func (s *System) claimWorkers(assigned []worker.Ranked, cfg worker.SelectConfig) []worker.Ranked {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	kept := assigned[:0]
+	for _, r := range assigned {
+		if cfg.MaxOutstanding > 0 && r.Worker.Outstanding >= cfg.MaxOutstanding {
+			continue // lost the slot to a concurrent assignment
+		}
+		r.Worker.Outstanding++
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+// TopWorkerInfo is a consistent snapshot of one ranked worker: the mutable
+// fields are copied out while the pool lock is held, so callers can read
+// them without racing concurrent reward write-backs.
+type TopWorkerInfo struct {
+	ID     worker.ID
+	Score  float64
+	Reward float64
+}
+
+// TopWorkers ranks the k most eligible workers for the given landmarks
+// under the system's current familiarity estimate, holding the pool lock so
+// the selection — and the returned reward balances — are consistent with
+// concurrent reward write-backs.
+func (s *System) TopWorkers(lids []landmark.ID, k int, cfg worker.SelectConfig) []TopWorkerInfo {
+	mstar := s.Familiarity()
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
+	ranked := worker.TopKEligible(s.pool, mstar, lids, k, cfg)
+	out := make([]TopWorkerInfo, 0, len(ranked))
+	for _, r := range ranked {
+		out = append(out, TopWorkerInfo{ID: r.Worker.ID, Score: r.Score, Reward: r.Worker.Reward})
+	}
+	return out
 }
 
 // agreement reports whether all candidates pairwise agree above the
 // configured similarity; if so it returns the medoid (the candidate with
 // the highest mean similarity to the others).
 func (s *System) agreement(cands []task.Candidate) (task.Candidate, float64, bool) {
+	if len(cands) == 0 {
+		// Callers filter empty sets out (ErrNoCandidates), but guard the
+		// len(cands)-1 division below against future call sites.
+		return task.Candidate{}, 0, false
+	}
 	if len(cands) == 1 {
 		return cands[0], 1, true
 	}
@@ -403,23 +561,27 @@ func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, e
 	if req.DeadlineMin > 0 {
 		selCfg.DeadlineMinutes = req.DeadlineMin
 	}
+	s.poolMu.RLock()
 	assigned := worker.TopKEligible(s.pool, mstar, tk.Questions, s.cfg.WorkersPerTask, selCfg)
+	s.poolMu.RUnlock()
 	if len(assigned) == 0 {
 		best := bestByConsensus(merged)
 		s.storeTruth(req, best.Route, 0.5, false)
 		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil
 	}
-	s.mu.Lock()
-	for _, r := range assigned {
-		r.Worker.Outstanding++
+	assigned = s.claimWorkers(assigned, selCfg)
+	if len(assigned) == 0 {
+		// Every selected worker hit quota between selection and claim.
+		best := bestByConsensus(merged)
+		s.storeTruth(req, best.Route, 0.5, false)
+		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil
 	}
-	s.mu.Unlock()
 	defer func() {
-		s.mu.Lock()
+		s.poolMu.Lock()
 		for _, r := range assigned {
 			r.Worker.Outstanding--
 		}
-		s.mu.Unlock()
+		s.poolMu.Unlock()
 	}()
 
 	// The simulated truth: the population-preferred route's landmarks.
@@ -438,12 +600,15 @@ func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, e
 		}
 		return 0
 	}
-	s.mu.Lock()
-	run := crowd.RunTaskHooked(tk, assigned, truthSet, fam, s.cfg.Answers, s.cfg.EarlyStop, s.rng,
+	// The simulation runs lock-free on a per-task RNG stream; only the
+	// reward write-back after each question briefly takes the pool lock.
+	rng := rand.New(rand.NewSource(taskSeed(s.cfg.Seed, id)))
+	run := crowd.RunTaskHooked(tk, assigned, truthSet, fam, s.cfg.Answers, s.cfg.EarlyStop, rng,
 		func(l landmark.ID, answers []crowd.Answer, used int) {
+			s.poolMu.Lock()
 			crowd.Reward(s.pool, l, answers, used, s.cfg.Rewards)
+			s.poolMu.Unlock()
 		})
-	s.mu.Unlock()
 
 	winner := merged[run.Resolved]
 	s.storeTruth(req, winner.Route, run.MinConfidence, true)
@@ -458,6 +623,11 @@ func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, e
 // asked: the candidate maximizing truth-derived prior plus mean similarity
 // to the other candidates (the providers' consensus medoid).
 func bestByConsensus(cands []task.Candidate) task.Candidate {
+	if len(cands) == 0 {
+		// Defensive: callers guarantee a non-empty set, but an empty one
+		// must not divide by len(cands)-1 or index cands[0].
+		return task.Candidate{}
+	}
 	if len(cands) == 1 {
 		return cands[0]
 	}
@@ -492,4 +662,14 @@ func (s *System) storeTruth(req Request, route roadnet.Route, conf float64, byCr
 		Crowd:      byCrowd,
 		StoredAt:   req.Depart,
 	})
+	// A crowd-verified truth is new external knowledge about this OD+slot:
+	// drop the cached candidate set so the next evaluation rebuilds from
+	// scratch. Truths *derived* from the candidates themselves (agreement/
+	// confidence stages) don't invalidate — candidate generation is
+	// independent of the truth store, and evicting on every derived store
+	// would defeat the cache exactly in re-evaluation mode (ReuseTruth
+	// off), where it absorbs the repeat graph searches.
+	if byCrowd {
+		s.routes.Invalidate(s.cacheKey(req))
+	}
 }

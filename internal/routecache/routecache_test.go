@@ -1,0 +1,160 @@
+package routecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache[int]
+	if _, ok := c.Get(Key{1, 2, 3}); ok {
+		t.Error("nil cache returned a hit")
+	}
+	c.Put(Key{1, 2, 3}, 7) // must not panic
+	if c.Invalidate(Key{1, 2, 3}) {
+		t.Error("nil cache invalidated an entry")
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d", c.Len())
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil cache Stats = %+v", s)
+	}
+	if New[int](0) != nil || New[int](-5) != nil {
+		t.Error("New with non-positive capacity should return nil")
+	}
+}
+
+func TestGetPutInvalidate(t *testing.T) {
+	c := New[string](64)
+	k := Key{From: 4, To: 9, Slot: 8}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "route-a")
+	v, ok := c.Get(k)
+	if !ok || v != "route-a" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// Same OD, different slot is a distinct entry.
+	if _, ok := c.Get(Key{From: 4, To: 9, Slot: 9}); ok {
+		t.Error("slot should be part of the key")
+	}
+	// Overwrite refreshes the value.
+	c.Put(k, "route-b")
+	if v, _ := c.Get(k); v != "route-b" {
+		t.Errorf("after overwrite Get = %q", v)
+	}
+	if !c.Invalidate(k) {
+		t.Error("Invalidate missed an existing entry")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Error("hit after invalidation")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Invalidations != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 invalidation", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Errorf("hit rate = %v, want in (0,1)", st.HitRate())
+	}
+}
+
+func TestBoundedLRUEviction(t *testing.T) {
+	c := New[int](16) // 1 entry per shard
+	n := 400
+	for i := 0; i < n; i++ {
+		c.Put(Key{From: int64(i), To: int64(i + 1), Slot: i % 24}, i)
+	}
+	if got := c.Len(); got > 16 {
+		t.Errorf("cache grew past capacity: %d > 16", got)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded despite overflow")
+	}
+	if st.Size != c.Len() {
+		t.Errorf("Stats.Size = %d, Len = %d", st.Size, c.Len())
+	}
+	if st.Capacity != 16 {
+		t.Errorf("Stats.Capacity = %d, want 16", st.Capacity)
+	}
+}
+
+func TestLRURecencyWithinShard(t *testing.T) {
+	c := New[int](32) // 2 entries per shard
+	// Find three keys mapping to the same shard.
+	var ks []Key
+	want := Key{From: 0, To: 0, Slot: 0}.hash() % defaultShards
+	for i := 1; len(ks) < 3; i++ {
+		k := Key{From: int64(i), To: int64(2 * i), Slot: i % 24}
+		if k.hash()%defaultShards == want {
+			ks = append(ks, k)
+		}
+	}
+	c.Put(ks[0], 0)
+	c.Put(ks[1], 1)
+	c.Get(ks[0]) // make ks[0] most recent; ks[1] is now LRU
+	c.Put(ks[2], 2)
+	if _, ok := c.Get(ks[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(ks[0]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(ks[2]); !ok {
+		t.Error("new entry missing")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{From: int64(i % 40), To: int64((i + g) % 40), Slot: i % 24}
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Errorf("corrupt value %d", v)
+				}
+				c.Put(k, i)
+				if i%7 == 0 {
+					c.Invalidate(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 256 {
+		t.Errorf("cache exceeded capacity under contention: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no lookups recorded")
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// Sequential node IDs must not all land on one shard.
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		k := Key{From: int64(i), To: int64(i + 1), Slot: 8}
+		seen[k.hash()%defaultShards] = true
+	}
+	if len(seen) < defaultShards/2 {
+		t.Errorf("keys cover only %d/%d shards", len(seen), defaultShards)
+	}
+}
+
+func ExampleCache() {
+	c := New[string](128)
+	k := Key{From: 3, To: 317, Slot: 8}
+	c.Put(k, "3->9->317")
+	if v, ok := c.Get(k); ok {
+		fmt.Println(v)
+	}
+	// Output: 3->9->317
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"crowdplanner/internal/geo"
@@ -282,4 +283,62 @@ func TestFastestDiffersFromShortestSomewhere(t *testing.T) {
 	if diff == 0 {
 		t.Error("expected fastest and shortest to differ for some OD pairs")
 	}
+}
+
+// TestConcurrentSearchesAreIndependent is the regression test for the
+// parallel candidate fan-out in core: ShortestPath and KShortest run
+// concurrently over one shared graph (they keep all search state on the
+// stack/heap of the call), so simultaneous searches must neither race nor
+// perturb each other's results.
+func TestConcurrentSearchesAreIndependent(t *testing.T) {
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Cols, cfg.Rows = 10, 10
+	g := roadnet.Generate(cfg)
+	type result struct {
+		sp roadnet.Route
+		ks []roadnet.Route
+	}
+	serial := func(src, dst roadnet.NodeID) result {
+		// Unreachable pairs yield a zero result; determinism still makes
+		// the concurrent run match the serial baseline exactly.
+		sp, _, err := ShortestPath(g, src, dst, TravelTimeCost, At(0, 8, 0))
+		if err != nil {
+			return result{}
+		}
+		ks, _, err := KShortest(g, src, dst, 3, TravelTimeCost, At(0, 8, 0))
+		if err != nil {
+			return result{sp: sp}
+		}
+		return result{sp, ks}
+	}
+	type od struct{ src, dst roadnet.NodeID }
+	ods := []od{{0, 99}, {9, 90}, {5, 77}, {33, 66}, {12, 88}, {40, 59}, {7, 93}, {21, 84}}
+	want := make([]result, len(ods))
+	for i, o := range ods {
+		want[i] = serial(o.src, o.dst)
+	}
+
+	var wg sync.WaitGroup
+	for rep := 0; rep < 8; rep++ {
+		for i, o := range ods {
+			wg.Add(1)
+			go func(i int, o od) {
+				defer wg.Done()
+				got := serial(o.src, o.dst)
+				if !got.sp.Equal(want[i].sp) {
+					t.Errorf("OD %v: concurrent ShortestPath diverged", o)
+				}
+				if len(got.ks) != len(want[i].ks) {
+					t.Errorf("OD %v: concurrent KShortest count diverged", o)
+					return
+				}
+				for k := range got.ks {
+					if !got.ks[k].Equal(want[i].ks[k]) {
+						t.Errorf("OD %v: concurrent KShortest route %d diverged", o, k)
+					}
+				}
+			}(i, o)
+		}
+	}
+	wg.Wait()
 }

@@ -45,7 +45,8 @@ type TicketInfo struct {
 }
 
 func ticketInfo(p *core.PendingTask) *TicketInfo {
-	ti := &TicketInfo{TaskID: p.ID, State: p.State.String()}
+	state, _ := p.Status() // synchronized: answers may be arriving concurrently
+	ti := &TicketInfo{TaskID: p.ID, State: state.String()}
 	if lm, ok := p.CurrentQuestion(); ok {
 		v := int32(lm)
 		ti.CurrentQuestion = &v
@@ -129,8 +130,8 @@ func (s *Server) handleTaskState(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := TaskStateResponse{Ticket: ticketInfo(p)}
-	if p.Result != nil {
-		out.Result = s.recommendResponse(p.Result, float64(p.Req.Depart))
+	if _, result := p.Status(); result != nil {
+		out.Result = s.recommendResponse(result, float64(p.Req.Depart))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -169,7 +170,8 @@ func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	out := AnswerResponse{State: p.State.String()}
+	state, _ := p.Status()
+	out := AnswerResponse{State: state.String()}
 	if resp != nil {
 		out.Resolved = s.recommendResponse(resp, float64(p.Req.Depart))
 	}

@@ -22,7 +22,6 @@ import (
 	"crowdplanner/internal/landmark"
 	"crowdplanner/internal/roadnet"
 	"crowdplanner/internal/routing"
-	"crowdplanner/internal/worker"
 )
 
 // Server wraps a core.System with an HTTP API.
@@ -138,15 +137,29 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse is the GET /api/health reply.
 type HealthResponse struct {
-	Status    string `json:"status"`
-	Nodes     int    `json:"nodes"`
-	Edges     int    `json:"edges"`
-	Landmarks int    `json:"landmarks"`
-	Workers   int    `json:"workers"`
-	Truths    int    `json:"truths"`
+	Status     string         `json:"status"`
+	Nodes      int            `json:"nodes"`
+	Edges      int            `json:"edges"`
+	Landmarks  int            `json:"landmarks"`
+	Workers    int            `json:"workers"`
+	Truths     int            `json:"truths"`
+	RouteCache RouteCacheInfo `json:"route_cache"`
+}
+
+// RouteCacheInfo reports the candidate route cache counters (all zero when
+// the cache is disabled).
+type RouteCacheInfo struct {
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+	Size          int     `json:"size"`
+	Capacity      int     `json:"capacity"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	cs := s.sys.RouteCacheStats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:    "ok",
 		Nodes:     s.sys.Graph().NumNodes(),
@@ -154,6 +167,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Landmarks: s.sys.Landmarks().Len(),
 		Workers:   s.sys.Pool().Len(),
 		Truths:    s.sys.TruthDB().Len(),
+		RouteCache: RouteCacheInfo{
+			Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate(),
+			Evictions: cs.Evictions, Invalidations: cs.Invalidations,
+			Size: cs.Size, Capacity: cs.Capacity,
+		},
 	})
 }
 
@@ -244,10 +262,13 @@ func (s *Server) handleTopWorkers(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	ranked := worker.TopKEligible(s.sys.Pool(), s.sys.Familiarity(), lids, k, s.sys.Config().Select)
+	// TopWorkers holds the system's pool lock and snapshots the mutable
+	// fields, keeping the ranking and reward balances consistent with
+	// concurrent reward write-backs.
+	ranked := s.sys.TopWorkers(lids, k, s.sys.Config().Select)
 	out := make([]WorkerInfo, 0, len(ranked))
 	for _, rk := range ranked {
-		out = append(out, WorkerInfo{ID: int32(rk.Worker.ID), Score: rk.Score, Reward: rk.Worker.Reward})
+		out = append(out, WorkerInfo{ID: int32(rk.ID), Score: rk.Score, Reward: rk.Reward})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -62,13 +62,21 @@ func (db *DB) Len() int {
 	return len(db.entries)
 }
 
-// Store records a verified truth.
+// Store records a verified truth. Storing a second truth for the same
+// (from, to, slot) key replaces the first: the latest verification
+// supersedes earlier ones (Lookup already returned only the newest), and
+// keeping duplicates would grow the store — and every Near scan — linearly
+// with the request stream instead of with distinct OD+slot keys.
 func (db *DB) Store(e Entry) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	e.Slot = ((e.Slot % db.slots) + db.slots) % db.slots
-	db.entries = append(db.entries, e)
 	k := odSlot{e.From, e.To, e.Slot}
+	if idxs := db.byOD[k]; len(idxs) > 0 {
+		db.entries[idxs[len(idxs)-1]] = e
+		return
+	}
+	db.entries = append(db.entries, e)
 	db.byOD[k] = append(db.byOD[k], len(db.entries)-1)
 }
 

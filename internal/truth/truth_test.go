@@ -162,13 +162,34 @@ func TestConfidenceWeighsByDistanceAndTruthConfidence(t *testing.T) {
 	}
 
 	// Confidence weighting: a low-confidence contrary truth barely moves
-	// the score relative to a high-confidence supporting truth.
+	// the score relative to a high-confidence supporting truth. The
+	// contrary truth sits in the neighboring slot (same key would replace)
+	// and slotTol = 1 brings both into scope.
 	db2 := NewDB(24)
 	db2.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 1})
-	db2.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: bottom(), Confidence: 0.05})
+	db2.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24) + 1, Route: bottom(), Confidence: 0.05})
 	got := db2.Confidence(g, top(), tm, 100, 1)
 	if got < 0.9 {
 		t.Errorf("low-confidence contrary truth should barely matter: %v", got)
+	}
+}
+
+func TestStoreReplacesSameKey(t *testing.T) {
+	tm := routing.At(0, 9, 0)
+	db := NewDB(24)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 0.6})
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: bottom(), Confidence: 0.9})
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (same-key store must replace)", db.Len())
+	}
+	e, ok := db.Lookup(0, 3, tm)
+	if !ok || !e.Route.Equal(bottom()) || e.Confidence != 0.9 {
+		t.Errorf("Lookup = %+v, %v; want the replacing entry", e, ok)
+	}
+	// A different slot is a different key.
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24) + 1, Route: top(), Confidence: 0.7})
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2", db.Len())
 	}
 }
 
@@ -222,8 +243,10 @@ func TestConcurrentAccess(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if db.Len() != 400 {
-		t.Errorf("Len = %d, want 400", db.Len())
+	// 8 goroutines × 50 stores collapse onto 24 distinct (from,to,slot)
+	// keys: same-key stores replace.
+	if db.Len() != 24 {
+		t.Errorf("Len = %d, want 24", db.Len())
 	}
 }
 

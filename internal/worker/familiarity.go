@@ -2,6 +2,7 @@ package worker
 
 import (
 	"math"
+	"slices"
 
 	"crowdplanner/internal/geo"
 	"crowdplanner/internal/landmark"
@@ -90,9 +91,19 @@ func (m *Matrix) Get(w, l int) (float64, bool) {
 func (m *Matrix) NonZeros() int { return len(m.vals) }
 
 // Each iterates over observed entries.
+// Each visits every observed entry in ascending (worker, landmark) order.
+// The deterministic order matters: FitPMF's gradient descent consumes
+// entries in Each order, so map-random iteration would make the fitted
+// factors — and every familiarity-dependent decision downstream — differ
+// from run to run even under a fixed seed.
 func (m *Matrix) Each(fn func(w, l int, v float64)) {
-	for k, v := range m.vals {
-		fn(int(k>>32), int(uint32(k)), v)
+	keys := make([]int64, 0, len(m.vals))
+	for k := range m.vals {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		fn(int(k>>32), int(uint32(k)), m.vals[k])
 	}
 }
 
@@ -169,8 +180,16 @@ func Accumulate(m *Matrix, lms *landmark.Set, cfg FamiliarityConfig) *Matrix {
 		if obs == nil {
 			continue
 		}
-		acc := map[int]float64{}
+		// Sum in ascending landmark order: float addition is not
+		// associative, so map-random order would perturb scores by ULPs
+		// between otherwise identical runs.
+		ls := make([]int, 0, len(obs))
 		for l := range obs {
+			ls = append(ls, l)
+		}
+		slices.Sort(ls)
+		acc := map[int]float64{}
+		for _, l := range ls {
 			// w's knowledge of l radiates to all landmarks near l; or
 			// equivalently, F(w, lj) sums over observed l within range.
 			for i, nb := range neighbors[l] {
