@@ -6,6 +6,7 @@
 package crowdplanner_test
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -161,7 +162,11 @@ func BenchmarkTaskGenerate(b *testing.B) {
 	scn := scenario(b)
 	trip := scn.Data.Trips[0]
 	req := crowdplanner.Request{From: trip.Route.Source(), To: trip.Route.Dest(), Depart: trip.Depart}
-	cands := task.MergeIndistinguishable(scn.System.Candidates(req))
+	rawCands, err := scn.System.Candidates(context.Background(), req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := task.MergeIndistinguishable(rawCands)
 	if len(cands) < 2 {
 		b.Skip("candidates agree for this OD")
 	}
@@ -212,7 +217,7 @@ func BenchmarkRecommendEndToEnd(b *testing.B) {
 		if tr.Route.Empty() {
 			continue
 		}
-		_, _ = scn.System.Recommend(crowdplanner.Request{
+		_, _ = scn.System.Recommend(context.Background(), crowdplanner.Request{
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		})
 	}
@@ -235,7 +240,7 @@ func BenchmarkRecommendColdEndToEnd(b *testing.B) {
 		if tr.Route.Empty() {
 			continue
 		}
-		_, _ = sys.Recommend(crowdplanner.Request{
+		_, _ = sys.Recommend(context.Background(), crowdplanner.Request{
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		})
 	}
@@ -258,7 +263,7 @@ func BenchmarkRecommendColdCached(b *testing.B) {
 		if tr.Route.Empty() {
 			continue
 		}
-		_, _ = sys.Recommend(crowdplanner.Request{
+		_, _ = sys.Recommend(context.Background(), crowdplanner.Request{
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		})
 	}
@@ -283,7 +288,7 @@ func BenchmarkRecommendParallel(b *testing.B) {
 		if tr.Route.Empty() {
 			continue
 		}
-		_, _ = sys.Recommend(crowdplanner.Request{
+		_, _ = sys.Recommend(context.Background(), crowdplanner.Request{
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		})
 	}
@@ -295,7 +300,7 @@ func BenchmarkRecommendParallel(b *testing.B) {
 			if tr.Route.Empty() {
 				continue
 			}
-			_, _ = sys.Recommend(crowdplanner.Request{
+			_, _ = sys.Recommend(context.Background(), crowdplanner.Request{
 				From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 			})
 		}

@@ -1,0 +1,387 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/server"
+)
+
+var (
+	worldOnce sync.Once
+	world     *core.Scenario
+)
+
+func smallWorld(t *testing.T) *core.Scenario {
+	t.Helper()
+	worldOnce.Do(func() {
+		world = core.BuildScenario(core.SmallScenarioConfig())
+	})
+	return world
+}
+
+// liveServer serves the shared scenario's system.
+func liveServer(t *testing.T) (*httptest.Server, *core.Scenario) {
+	t.Helper()
+	w := smallWorld(t)
+	srv := httptest.NewServer(server.New(w.System).Handler())
+	t.Cleanup(srv.Close)
+	return srv, w
+}
+
+// crowdServer serves a crowd-forced system so async requests publish tickets.
+func crowdServer(t *testing.T) (*httptest.Server, *core.Scenario) {
+	t.Helper()
+	w := smallWorld(t)
+	cfg := w.System.Config()
+	cfg.AgreementSim = 1.01
+	cfg.EtaConfidence = 1.01
+	cfg.ReuseTruth = false
+	sys := core.New(cfg, w.Graph, w.Landmarks, w.Data, w.Pool,
+		&core.PopulationOracle{Data: w.Data, Sample: 30})
+	srv := httptest.NewServer(server.New(sys).Handler())
+	t.Cleanup(srv.Close)
+	return srv, w
+}
+
+func TestClientRecommendAndErrors(t *testing.T) {
+	srv, w := liveServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	trip := w.Data.Trips[0]
+	rec, err := c.Recommend(ctx, RecommendRequest{
+		From: int64(trip.Route.Source()), To: int64(trip.Route.Dest()), DepartMin: float64(trip.Depart),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Route) < 2 || rec.Stage == "" || rec.LengthM <= 0 {
+		t.Errorf("recommendation = %+v", rec)
+	}
+
+	// Server-side validation surfaces as a typed *APIError.
+	_, err = c.Recommend(ctx, RecommendRequest{From: 3, To: 3})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.StatusCode != http.StatusBadRequest || ae.Code != "bad_request" || ae.RequestID == "" {
+		t.Errorf("APIError = %+v", ae)
+	}
+	if !IsCode(err, "bad_request") || IsCode(err, "not_found") {
+		t.Error("IsCode misclassified")
+	}
+}
+
+func TestClientBatch(t *testing.T) {
+	srv, w := liveServer(t)
+	c := New(srv.URL)
+
+	var items []RecommendRequest
+	for i := 0; i < 10; i++ {
+		trip := w.Data.Trips[i%len(w.Data.Trips)]
+		items = append(items, RecommendRequest{
+			From: int64(trip.Route.Source()), To: int64(trip.Route.Dest()), DepartMin: float64(trip.Depart),
+		})
+	}
+	items[5] = RecommendRequest{From: 1, To: 1} // one invalid item
+	out, err := c.RecommendBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(items) || out.Succeeded != len(items)-1 || out.Failed != 1 {
+		t.Fatalf("batch = succeeded %d failed %d of %d", out.Succeeded, out.Failed, len(out.Results))
+	}
+	if out.Results[5].Error == nil || out.Results[5].Error.Code != "bad_request" {
+		t.Errorf("invalid item result = %+v", out.Results[5])
+	}
+}
+
+func TestClientInventory(t *testing.T) {
+	srv, w := liveServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Nodes != w.Graph.NumNodes() || h.Workers != w.Pool.Len() {
+		t.Errorf("health = %+v", h)
+	}
+
+	lms, err := c.Landmarks(ctx, Page{Limit: 4, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lms.Items) != 4 || lms.Total != w.Landmarks.Len() {
+		t.Errorf("landmarks = %+v", lms)
+	}
+
+	top := w.Landmarks.TopBySignificance(3)
+	workers, err := c.TopWorkers(ctx, []int32{int32(top[0].ID), int32(top[1].ID), int32(top[2].ID)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) == 0 || len(workers) > 4 {
+		t.Errorf("top workers = %d", len(workers))
+	}
+
+	if _, err := c.Truths(ctx, Page{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sources(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientAsyncLifecycle drives the full crowd-task protocol through the
+// SDK: publish, list the workers' open questions, answer until the task
+// resolves, and fetch the final result two ways (poll + WaitForResult).
+func TestClientAsyncLifecycle(t *testing.T) {
+	srv, w := crowdServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	trip := w.Data.Trips[0]
+	req := RecommendRequest{
+		From: int64(trip.Route.Source()), To: int64(trip.Route.Dest()), DepartMin: float64(trip.Depart),
+	}
+	async, err := c.RecommendAsync(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.Resolved != nil {
+		t.Skipf("TR resolved directly (stage %s)", async.Resolved.Stage)
+	}
+	ticket := async.Ticket
+	if ticket.State != "open" || ticket.CurrentQuestion == nil || len(ticket.AssignedWorkers) == 0 {
+		t.Fatalf("bad ticket %+v", ticket)
+	}
+
+	// The assigned workers see the open question in their queues.
+	open, err := c.WorkerTasks(ctx, ticket.AssignedWorkers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, wt := range open {
+		if wt.TaskID == ticket.TaskID && wt.Landmark == *ticket.CurrentQuestion {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("assigned worker does not see the open question")
+	}
+
+	// Answer until the early-stop component closes the task.
+	for rounds := 0; rounds < 200; rounds++ {
+		st, err := c.Task(ctx, ticket.TaskID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ticket.State != "open" {
+			break
+		}
+		for _, wid := range st.Ticket.AssignedWorkers {
+			if _, err := c.SubmitAnswer(ctx, ticket.TaskID, wid, true); err != nil {
+				if IsCode(err, "already_answered") || IsCode(err, "task_closed") {
+					break // question advanced or task closed under us
+				}
+				t.Fatal(err)
+			}
+		}
+	}
+
+	final, err := c.WaitForResult(ctx, ticket.TaskID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Stage != "crowd" || len(final.Route) < 2 {
+		t.Errorf("final = %+v", final)
+	}
+	// The polled state agrees.
+	st, err := c.Task(ctx, ticket.TaskID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ticket.State != "resolved" || st.Result == nil {
+		t.Errorf("state after resolve = %+v", st)
+	}
+}
+
+func TestClientExpire(t *testing.T) {
+	srv, w := crowdServer(t)
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	trip := w.Data.Trips[2]
+	async, err := c.RecommendAsync(ctx, RecommendRequest{
+		From: int64(trip.Route.Source()), To: int64(trip.Route.Dest()), DepartMin: float64(trip.Depart),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.Ticket == nil {
+		t.Skip("TR resolved directly")
+	}
+	res, err := c.ExpireTask(ctx, async.Ticket.TaskID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "expired" || res.Resolved == nil {
+		t.Errorf("expire = %+v", res)
+	}
+	// Double-expiry is a typed conflict.
+	if _, err := c.ExpireTask(ctx, async.Ticket.TaskID); !IsCode(err, "task_closed") {
+		t.Errorf("double expire err = %v, want task_closed", err)
+	}
+	// WaitForResult returns immediately on a closed task.
+	if _, err := c.WaitForResult(ctx, async.Ticket.TaskID, time.Millisecond); err != nil {
+		t.Errorf("WaitForResult on expired task: %v", err)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		switch n {
+		case 1:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case 2:
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+		}
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, WithRetry(3, time.Millisecond))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health = %+v", h)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (500, 429, then success)", attempts)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"not_found","message":"nope","request_id":"r1"}}`)
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, WithRetry(5, time.Millisecond))
+	_, err := c.Task(context.Background(), 42)
+	if !IsCode(err, "not_found") {
+		t.Fatalf("err = %v, want not_found", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (4xx is terminal)", attempts)
+	}
+}
+
+func TestClientRetriesGiveUpAndReportLastError(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "always down", http.StatusServiceUnavailable)
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, WithRetry(2, time.Millisecond))
+	_, err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+}
+
+func TestClientWaitForResultHonorsContext(t *testing.T) {
+	// A task that never closes: WaitForResult must stop with the context.
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ticket":{"task_id":1,"state":"open","assigned_workers":[1]}}`)
+	}))
+	defer fake.Close()
+
+	c := New(fake.URL, WithRetry(0, 0))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.WaitForResult(ctx, 1, 5*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("WaitForResult did not stop promptly")
+	}
+}
+
+func TestClientPOSTRetryPolicy(t *testing.T) {
+	// A 500 on a mutating POST is terminal (the work may have committed
+	// server-side); a 503 means the server refused it, so retrying is safe.
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts[r.URL.Path]++
+		n := attempts[r.URL.Path]
+		mu.Unlock()
+		switch {
+		case r.URL.Path == "/v1/tasks/1/answer":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case n == 1:
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"state":"open"}`)
+		}
+	}))
+	defer fake.Close()
+	c := New(fake.URL, WithRetry(3, time.Millisecond))
+
+	var ae *APIError
+	if _, err := c.SubmitAnswer(context.Background(), 1, 1, true); !errors.As(err, &ae) || ae.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want terminal 500", err)
+	}
+	if _, err := c.SubmitAnswer(context.Background(), 2, 1, true); err != nil {
+		t.Fatalf("503-then-ok should succeed, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts["/v1/tasks/1/answer"] != 1 {
+		t.Errorf("500 POST attempts = %d, want 1", attempts["/v1/tasks/1/answer"])
+	}
+	if attempts["/v1/tasks/2/answer"] != 2 {
+		t.Errorf("503 POST attempts = %d, want 2", attempts["/v1/tasks/2/answer"])
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -110,7 +111,7 @@ func runThroughput(workers, requests int, cold, nocache bool) error {
 				if i >= int64(requests) {
 					return
 				}
-				resp, err := scn.System.Recommend(reqs[i%int64(len(reqs))])
+				resp, err := scn.System.Recommend(context.Background(), reqs[i%int64(len(reqs))])
 				if err != nil {
 					errs.Add(1)
 					continue

@@ -7,16 +7,25 @@
 //
 // Then:
 //
-//	curl -s localhost:8080/api/health
-//	curl -s -X POST localhost:8080/api/recommend \
+//	curl -s localhost:8080/v1/health
+//	curl -s -X POST localhost:8080/v1/recommend \
 //	     -d '{"from":3,"to":317,"depart_min":510}'
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
+// -grace to finish (their contexts are cancelled at the deadline, which the
+// serving core observes), then the listener closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/server"
@@ -24,8 +33,9 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		size = flag.String("size", "default", "scenario size: small or default")
+		addr  = flag.String("addr", ":8080", "listen address")
+		size  = flag.String("size", "default", "scenario size: small or default")
+		grace = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 
@@ -39,9 +49,41 @@ func main() {
 		scn.Graph.NumNodes(), scn.Graph.NumEdges(),
 		scn.Landmarks.Len(), len(scn.Data.Trips), scn.Pool.Len())
 
-	srv := server.New(scn.System)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(scn.System, server.WithLogger(log.Default())).Handler(),
+		// Slow-loris protection: a connection that won't finish its headers
+		// or drain its response can't pin a goroutine forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       90 * time.Second,
+	}
 	log.Printf("serving CrowdPlanner API on %s", *addr)
-	fmt.Printf("try: curl -s -X POST localhost%s/api/recommend -d '{\"from\":%d,\"to\":%d,\"depart_min\":510}'\n",
+	fmt.Printf("try: curl -s -X POST localhost%s/v1/recommend -d '{\"from\":%d,\"to\":%d,\"depart_min\":510}'\n",
 		*addr, scn.Data.Trips[0].Route.Source(), scn.Data.Trips[0].Route.Dest())
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("signal received; draining for up to %s...", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			_ = srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("bye")
+	}
 }

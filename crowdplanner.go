@@ -12,11 +12,15 @@
 // Quick start:
 //
 //	scn := crowdplanner.BuildScenario(crowdplanner.DefaultScenarioConfig())
-//	resp, err := scn.System.Recommend(crowdplanner.Request{
+//	resp, err := scn.System.Recommend(ctx, crowdplanner.Request{
 //		From: 3, To: 317, Depart: crowdplanner.At(0, 8, 30),
 //	})
 //
-// See examples/ for runnable programs and DESIGN.md for the architecture.
+// The context bounds the whole pipeline: cancellation or a deadline stops
+// candidate fan-out and the crowd loop promptly.
+//
+// See examples/ for runnable programs, DESIGN.md for the architecture, and
+// the client package for the typed SDK over the /v1 HTTP API.
 package crowdplanner
 
 import (
@@ -46,6 +50,9 @@ type (
 	ScenarioConfig = core.ScenarioConfig
 	// Oracle supplies the simulated ground-truth best route.
 	Oracle = core.Oracle
+	// PopulationOracle answers with the population-preferred route of the
+	// driver simulation.
+	PopulationOracle = core.PopulationOracle
 
 	// NodeID identifies a road intersection.
 	NodeID = roadnet.NodeID

@@ -2,6 +2,7 @@ package crowdplanner_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -13,7 +14,7 @@ import (
 func TestFacadeEndToEnd(t *testing.T) {
 	scn := crowdplanner.BuildScenario(crowdplanner.SmallScenarioConfig())
 	trip := scn.Data.Trips[0]
-	resp, err := scn.System.Recommend(crowdplanner.Request{
+	resp, err := scn.System.Recommend(context.Background(), crowdplanner.Request{
 		From:   trip.Route.Source(),
 		To:     trip.Route.Dest(),
 		Depart: crowdplanner.At(1, 8, 30),

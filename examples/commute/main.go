@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 				routing.TravelMinutes(g, r, slot.depart), r.Similarity(truth))
 		}
 
-		resp, err := scn.System.Recommend(core.Request{From: from, To: to, Depart: slot.depart})
+		resp, err := scn.System.Recommend(context.Background(), core.Request{From: from, To: to, Depart: slot.depart})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -27,7 +28,11 @@ func main() {
 			continue
 		}
 		req := core.Request{From: trip.Route.Source(), To: trip.Route.Dest(), Depart: trip.Depart}
-		cs := task.MergeIndistinguishable(sys.Candidates(req))
+		rawCands, err := sys.Candidates(context.Background(), req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := task.MergeIndistinguishable(rawCands)
 		if len(cs) >= 3 {
 			cands, chosen = cs, req
 			break

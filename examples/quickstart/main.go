@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 		To:     trip.Route.Dest(),
 		Depart: crowdplanner.At(1, 8, 30),
 	}
-	resp, err := sys.Recommend(req)
+	resp, err := sys.Recommend(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func main() {
 	}
 
 	// Ask again: the verified answer is reused without any computation.
-	resp2, err := sys.Recommend(req)
+	resp2, err := sys.Recommend(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,71 +1,155 @@
-// Serverclient: runs the CrowdPlanner HTTP server in-process and exercises
-// it as a client would — health check, a recommendation request, and the
-// truth listing — demonstrating the two-layer architecture of the paper.
+// Serverclient: runs the CrowdPlanner HTTP server in-process and drives it
+// with the typed Go SDK (the client package) — health and inventory, a
+// synchronous recommendation, a batch call, and the full asynchronous
+// crowd-task lifecycle (publish, poll, answer, resolve) that real mobile
+// clients speak.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"crowdplanner"
+	"crowdplanner/client"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	scn := crowdplanner.BuildScenario(crowdplanner.SmallScenarioConfig())
 	srv := httptest.NewServer(crowdplanner.NewHTTPHandler(scn.System))
 	defer srv.Close()
+	c := client.New(srv.URL)
 	fmt.Printf("server listening on %s\n\n", srv.URL)
 
-	get := func(path string) []byte {
-		resp, err := http.Get(srv.URL + path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return b
-	}
-
-	fmt.Println("GET /api/health")
-	fmt.Printf("  %s\n", get("/api/health"))
-
-	trip := scn.Data.Trips[0]
-	reqBody, _ := json.Marshal(map[string]any{
-		"from":       trip.Route.Source(),
-		"to":         trip.Route.Dest(),
-		"depart_min": float64(crowdplanner.At(1, 8, 30)),
-	})
-	fmt.Println("\nPOST /api/recommend")
-	fmt.Printf("  body: %s\n", reqBody)
-	resp, err := http.Post(srv.URL+"/api/recommend", "application/json", bytes.NewReader(reqBody))
+	// Liveness and inventory.
+	h, err := c.Health(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var rec struct {
-		Stage      string  `json:"stage"`
-		Confidence float64 `json:"confidence"`
-		LengthM    float64 `json:"length_m"`
-		TravelMin  float64 `json:"travel_min"`
-		Route      []int32 `json:"route"`
+	fmt.Printf("GET /v1/health\n  status=%s nodes=%d landmarks=%d workers=%d truths=%d\n\n",
+		h.Status, h.Nodes, h.Landmarks, h.Workers, h.Truths)
+
+	// One synchronous recommendation.
+	trip := scn.Data.Trips[0]
+	req := client.RecommendRequest{
+		From:      int64(trip.Route.Source()),
+		To:        int64(trip.Route.Dest()),
+		DepartMin: float64(crowdplanner.At(1, 8, 30)),
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+	rec, err := c.Recommend(ctx, req)
+	if err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
-	fmt.Printf("  stage=%s confidence=%.2f length=%.1fkm travel=%.1fmin route has %d nodes\n",
-		rec.Stage, rec.Confidence, rec.LengthM/1000, rec.TravelMin, len(rec.Route))
+	fmt.Printf("POST /v1/recommend %d->%d\n  stage=%s confidence=%.2f length=%.1fkm travel=%.1fmin (%d nodes)\n\n",
+		req.From, req.To, rec.Stage, rec.Confidence, rec.LengthM/1000, rec.TravelMin, len(rec.Route))
 
-	fmt.Println("\nGET /api/landmarks?top=5")
-	fmt.Printf("  %s\n", get("/api/landmarks?top=5"))
+	// A batch: several ODs through the concurrent core in one round trip.
+	var items []client.RecommendRequest
+	for _, t := range scn.Data.Trips[1:6] {
+		if t.Route.Empty() {
+			continue
+		}
+		items = append(items, client.RecommendRequest{
+			From: int64(t.Route.Source()), To: int64(t.Route.Dest()), DepartMin: float64(t.Depart),
+		})
+	}
+	batch, err := c.RecommendBatch(ctx, items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/recommend/batch (%d items)\n  succeeded=%d failed=%d\n", len(items), batch.Succeeded, batch.Failed)
+	for _, res := range batch.Results {
+		if res.Result != nil {
+			fmt.Printf("  [%d] stage=%-10s %.1fkm\n", res.Index, res.Result.Stage, res.Result.LengthM/1000)
+		} else {
+			fmt.Printf("  [%d] error %s: %s\n", res.Index, res.Error.Code, res.Error.Message)
+		}
+	}
 
-	fmt.Println("\nGET /api/truths")
-	fmt.Printf("  %s\n", get("/api/truths"))
+	// Paginated listings.
+	lms, err := c.Landmarks(ctx, client.Page{Limit: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v1/landmarks?limit=3 (total %d)\n", lms.Total)
+	for _, l := range lms.Items {
+		fmt.Printf("  #%d %-22s %-12s significance=%.3f\n", l.ID, l.Name, l.Kind, l.Significance)
+	}
+	truths, err := c.Truths(ctx, client.Page{Limit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v1/truths?limit=5 (total %d)\n", truths.Total)
+	for _, tr := range truths.Items {
+		fmt.Printf("  %d->%d slot=%d confidence=%.2f crowd=%v\n", tr.From, tr.To, tr.Slot, tr.Confidence, tr.Crowd)
+	}
+
+	// The asynchronous lifecycle needs the crowd: force it by disabling the
+	// TR module's shortcuts on a second system over the same substrates.
+	cfg := scn.System.Config()
+	cfg.AgreementSim = 1.01
+	cfg.EtaConfidence = 1.01
+	cfg.ReuseTruth = false
+	crowdSys := crowdplanner.NewSystem(cfg, scn.Graph, scn.Landmarks, scn.Data, scn.Pool,
+		&crowdplanner.PopulationOracle{Data: scn.Data, Sample: 30})
+	asrv := httptest.NewServer(crowdplanner.NewHTTPHandler(crowdSys))
+	defer asrv.Close()
+	ac := client.New(asrv.URL)
+
+	fmt.Printf("\nPOST /v1/recommend/async %d->%d\n", req.From, req.To)
+	async, err := ac.RecommendAsync(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if async.Resolved != nil {
+		fmt.Printf("  resolved immediately: stage=%s\n", async.Resolved.Stage)
+		return
+	}
+	ticket := async.Ticket
+	fmt.Printf("  ticket: task=%d state=%s workers=%v question=%v\n",
+		ticket.TaskID, ticket.State, ticket.AssignedWorkers, *ticket.CurrentQuestion)
+
+	// The assigned workers' clients poll their queue and answer each open
+	// question until the early-stop component closes the task.
+	answers := 0
+	for {
+		st, err := ac.Task(ctx, ticket.TaskID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Ticket.State != "open" {
+			break
+		}
+		for _, wid := range st.Ticket.AssignedWorkers {
+			open, err := ac.WorkerTasks(ctx, wid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, wt := range open {
+				if wt.TaskID != ticket.TaskID {
+					continue
+				}
+				if _, err := ac.SubmitAnswer(ctx, ticket.TaskID, wid, true); err != nil {
+					// The question can advance or close between poll and
+					// answer; those are typed, expected conflicts.
+					if client.IsCode(err, "already_answered") || client.IsCode(err, "task_closed") {
+						continue
+					}
+					log.Fatal(err)
+				}
+				answers++
+			}
+		}
+	}
+	result, err := ac.WaitForResult(ctx, ticket.TaskID, 10*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  resolved after %d answers: stage=%s confidence=%.2f (%d nodes)\n",
+		answers, result.Stage, result.Confidence, len(result.Route))
 }

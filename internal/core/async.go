@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -119,8 +120,14 @@ var (
 // returned Response is nil and the ticket must be driven to resolution with
 // SubmitAnswer. When the TR module resolves the request, the Response is
 // returned directly with a nil ticket.
-func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
-	resp, cands, err := s.resolveTraditional(req)
+//
+// The context covers the synchronous part only (validation, candidate
+// generation, task publication): a cancellation before the ticket is
+// registered returns ctx.Err() with every claimed worker released and no
+// pending task leaked. Once the ticket is returned, the task's lifetime is
+// governed by SubmitAnswer/ExpireTask, not by this context.
+func (s *System) RecommendAsync(ctx context.Context, req Request) (*Response, *PendingTask, error) {
+	resp, cands, err := s.resolveTraditional(ctx, req)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -165,6 +172,16 @@ func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
 		s.storeTruth(req, best.Route, 0.5, false)
 		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil, nil
 	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled between claim and publication: release the claims so no
+		// pending task (or stuck Outstanding counter) leaks.
+		s.poolMu.Lock()
+		for _, r := range assigned {
+			r.Worker.Outstanding--
+		}
+		s.poolMu.Unlock()
+		return nil, nil, err
+	}
 
 	p := &PendingTask{
 		ID: id, Req: req, Task: tk, Assigned: assigned,
@@ -190,7 +207,7 @@ func (s *System) RecommendAsync(req Request) (*Response, *PendingTask, error) {
 // resolveTraditional runs stages 1–4 of the pipeline. It returns a non-nil
 // Response when the TR module answered; otherwise the candidate set for the
 // crowd, with priors filled in.
-func (s *System) resolveTraditional(req Request) (*Response, []task.Candidate, error) {
+func (s *System) resolveTraditional(ctx context.Context, req Request) (*Response, []task.Candidate, error) {
 	n := roadnetpkg.NodeID(s.graph.NumNodes())
 	if req.From < 0 || req.From >= n || req.To < 0 || req.To >= n || req.From == req.To {
 		return nil, nil, fmt.Errorf("%w: from=%d to=%d", ErrBadRequest, req.From, req.To)
@@ -200,7 +217,10 @@ func (s *System) resolveTraditional(req Request) (*Response, []task.Candidate, e
 			return &Response{Route: e.Route, Stage: StageReuse, Confidence: e.Confidence}, nil, nil
 		}
 	}
-	cands := s.generateCandidates(req)
+	cands, err := s.generateCandidates(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(cands) == 0 {
 		return nil, nil, ErrNoCandidates
 	}
@@ -262,6 +282,20 @@ func (s *System) PendingTask(id int64) (*PendingTask, bool) {
 	defer s.mu.Unlock()
 	p, ok := s.pending[id]
 	return p, ok
+}
+
+// OpenTasks counts the pending tasks still collecting answers. Surfaced on
+// GET /v1/health and used by tests to assert no task leaks on cancellation.
+func (s *System) OpenTasks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.pending {
+		if p.State == TaskOpen {
+			n++
+		}
+	}
+	return n
 }
 
 // SubmitAnswer records worker w's answer to the current question of task

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -70,7 +71,7 @@ func answerTruthfully(t *testing.T, s *Scenario, sys *System, p *PendingTask) *R
 func TestAsyncLifecycleResolves(t *testing.T) {
 	s, sys := forcedAsyncSystem(t)
 	from, to, depart := pickOD(s)
-	resp, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	resp, ticket, err := sys.RecommendAsync(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestAsyncLifecycleResolves(t *testing.T) {
 func TestAsyncSubmitValidation(t *testing.T) {
 	s, sys := forcedAsyncSystem(t)
 	from, to, depart := pickOD(s)
-	_, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	_, ticket, err := sys.RecommendAsync(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil || ticket == nil {
 		t.Skipf("no ticket: %v", err)
 	}
@@ -164,7 +165,7 @@ func TestAsyncSubmitValidation(t *testing.T) {
 func TestAsyncExpire(t *testing.T) {
 	s, sys := forcedAsyncSystem(t)
 	from, to, depart := pickOD(s)
-	_, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	_, ticket, err := sys.RecommendAsync(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil || ticket == nil {
 		t.Skipf("no ticket: %v", err)
 	}
@@ -197,7 +198,7 @@ func TestAsyncExpire(t *testing.T) {
 func TestAsyncPendingTasksView(t *testing.T) {
 	s, sys := forcedAsyncSystem(t)
 	from, to, depart := pickOD(s)
-	_, ticket, err := sys.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	_, ticket, err := sys.RecommendAsync(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil || ticket == nil {
 		t.Skipf("no ticket: %v", err)
 	}
@@ -239,7 +240,7 @@ func TestAsyncTRShortCircuit(t *testing.T) {
 	// Default gates: most requests resolve without the crowd; the async
 	// entry point must return the response directly.
 	from, to, depart := pickOD(s)
-	resp, ticket, err := s.System.RecommendAsync(Request{From: from, To: to, Depart: depart})
+	resp, ticket, err := s.System.RecommendAsync(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}

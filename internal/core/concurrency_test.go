@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -53,12 +54,12 @@ func TestConcurrentRecommendAndAsyncLifecycle(t *testing.T) {
 				req := reqs[(g*31+i)%len(reqs)]
 				switch i % 4 {
 				case 0, 1: // synchronous pipeline
-					if _, err := sys.Recommend(req); err != nil {
+					if _, err := sys.Recommend(context.Background(), req); err != nil {
 						errCh <- fmt.Errorf("goroutine %d: Recommend: %w", g, err)
 						return
 					}
 				case 2: // async lifecycle, driven to resolution or expiry
-					resp, p, err := sys.RecommendAsync(req)
+					resp, p, err := sys.RecommendAsync(context.Background(), req)
 					if err != nil {
 						errCh <- fmt.Errorf("goroutine %d: RecommendAsync: %w", g, err)
 						return
@@ -163,7 +164,7 @@ func TestRecommendDeterministicForSeed(t *testing.T) {
 			if tr.Route.Empty() {
 				continue
 			}
-			resp, err := s.System.Recommend(Request{
+			resp, err := s.System.Recommend(context.Background(), Request{
 				From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 			})
 			if err != nil {
@@ -220,7 +221,7 @@ func TestNoCandidatesError(t *testing.T) {
 	cfg := DefaultConfig()
 	sys := New(cfg, g, lms, data, pool, &PopulationOracle{Data: data, Sample: 1})
 
-	if _, err := sys.Recommend(Request{From: a, To: c, Depart: 0}); !errors.Is(err, ErrNoCandidates) {
+	if _, err := sys.Recommend(context.Background(), Request{From: a, To: c, Depart: 0}); !errors.Is(err, ErrNoCandidates) {
 		t.Errorf("disconnected OD: err = %v, want ErrNoCandidates", err)
 	}
 	// Direct guards: empty candidate sets must not panic or divide by zero.

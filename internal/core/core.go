@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -308,10 +309,16 @@ var (
 // Recommend processes one request through the full Fig. 1 workflow,
 // simulating the crowd synchronously when it is needed. For the open-loop
 // protocol where real clients submit answers over time, see RecommendAsync.
-func (s *System) Recommend(req Request) (*Response, error) {
+//
+// The context bounds the whole pipeline: cancellation (a disconnected HTTP
+// client) or a deadline is observed before candidate fan-out, inside the
+// fan-out, around the oracle call, and between crowd questions, and the
+// context's error is returned. Shared state is never left inconsistent by a
+// cancellation: claimed workers are released and no partial truth is stored.
+func (s *System) Recommend(ctx context.Context, req Request) (*Response, error) {
 	// Stages 1–4: reuse truth, candidate generation, agreement check,
 	// confidence scoring.
-	resp, cands, err := s.resolveTraditional(req)
+	resp, cands, err := s.resolveTraditional(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -319,14 +326,15 @@ func (s *System) Recommend(req Request) (*Response, error) {
 		return resp, nil
 	}
 	// Stage 5: crowd route recommendation.
-	return s.crowdResolve(req, cands)
+	return s.crowdResolve(ctx, req, cands)
 }
 
 // Candidates exposes the route generation component: the calibrated,
 // deduplicated candidate set for a request. Used by the experiment harness
-// to study the CR module in isolation.
-func (s *System) Candidates(req Request) []task.Candidate {
-	return s.generateCandidates(req)
+// to study the CR module in isolation. The only error is the context's, when
+// it is cancelled before or during generation.
+func (s *System) Candidates(ctx context.Context, req Request) ([]task.Candidate, error) {
+	return s.generateCandidates(ctx, req)
 }
 
 // proposal is one provider's route suggestion.
@@ -353,17 +361,26 @@ func (s *System) cacheKey(req Request) routecache.Key {
 // happens in a fixed provider order, keeping the result identical to a
 // sequential run. Generated sets are cached by (from, to, depart-slot) so
 // repeat OD pairs skip graph search entirely.
-func (s *System) generateCandidates(req Request) []task.Candidate {
+func (s *System) generateCandidates(ctx context.Context, req Request) ([]task.Candidate, error) {
 	key := s.cacheKey(req)
 	if cached, ok := s.routes.Get(key); ok {
 		// Candidates are value structs; hand back a fresh slice so callers
 		// can fill in priors without mutating the shared cached copy.
 		out := make([]task.Candidate, len(cached))
 		copy(out, cached)
-		return out
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Abort before any graph search or mining runs.
+		return nil, err
 	}
 
-	proposals := s.proposeRoutes(req)
+	proposals := s.proposeRoutes(ctx, req)
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-fan-out: the proposal set may be partial, so don't
+		// calibrate or cache it.
+		return nil, err
+	}
 
 	var cands []task.Candidate
 	seen := map[string]int{}
@@ -383,7 +400,7 @@ func (s *System) generateCandidates(req Request) []task.Candidate {
 	if len(cands) > 0 {
 		s.routes.Put(key, append([]task.Candidate(nil), cands...))
 	}
-	return cands
+	return cands, nil
 }
 
 // proposeRoutes runs every route provider concurrently — the two
@@ -391,14 +408,20 @@ func (s *System) generateCandidates(req Request) []task.Candidate {
 // popular-route miners — and returns their proposals merged in the fixed
 // provider order (deterministic regardless of goroutine scheduling). All
 // providers are read-only over immutable substrates, so no locking is
-// needed.
-func (s *System) proposeRoutes(req Request) []proposal {
+// needed. Each fan-out goroutine re-checks the context before starting its
+// search, so a cancelled request skips every provider that has not yet been
+// scheduled; the caller detects the cancellation and discards the partial
+// merge.
+func (s *System) proposeRoutes(ctx context.Context, req Request) []proposal {
 	slots := make([][]proposal, 3+len(s.miners))
 	var wg sync.WaitGroup
 	run := func(i int, f func() []proposal) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			slots[i] = f()
 		}()
 	}
@@ -537,7 +560,9 @@ func (s *System) agreement(cands []task.Candidate) (task.Candidate, float64, boo
 
 // crowdResolve runs the CR module: task generation, worker selection,
 // simulated answering with early stop, rewards, and truth write-back.
-func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, error) {
+// Cancellation is observed around the oracle call and between questions of
+// the crowd simulation; claimed workers are always released on the way out.
+func (s *System) crowdResolve(ctx context.Context, req Request, cands []task.Candidate) (*Response, error) {
 	merged := task.MergeIndistinguishable(cands)
 	if len(merged) == 1 {
 		// All candidates look identical to humans; no task needed.
@@ -584,10 +609,17 @@ func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, e
 		s.poolMu.Unlock()
 	}()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err // deferred claim release runs
+	}
+
 	// The simulated truth: the population-preferred route's landmarks.
 	truthRoute, err := s.oracle.BestRoute(req.From, req.To, req.Depart)
 	if err != nil {
 		return nil, fmt.Errorf("core: oracle: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	truthLR := calibrate.Calibrate(s.graph, s.landmarks, truthRoute, s.cfg.Calibrate)
 	truthSet := truthLR.IDSet()
@@ -603,12 +635,17 @@ func (s *System) crowdResolve(req Request, cands []task.Candidate) (*Response, e
 	// The simulation runs lock-free on a per-task RNG stream; only the
 	// reward write-back after each question briefly takes the pool lock.
 	rng := rand.New(rand.NewSource(taskSeed(s.cfg.Seed, id)))
-	run := crowd.RunTaskHooked(tk, assigned, truthSet, fam, s.cfg.Answers, s.cfg.EarlyStop, rng,
+	run, err := crowd.RunTaskCtx(ctx, tk, assigned, truthSet, fam, s.cfg.Answers, s.cfg.EarlyStop, rng,
 		func(l landmark.ID, answers []crowd.Answer, used int) {
 			s.poolMu.Lock()
 			crowd.Reward(s.pool, l, answers, used, s.cfg.Rewards)
 			s.poolMu.Unlock()
 		})
+	if err != nil {
+		// Cancelled mid-task: rewards for completed questions stand, but no
+		// truth is stored and no winner is declared.
+		return nil, err
+	}
 
 	winner := merged[run.Resolved]
 	s.storeTruth(req, winner.Route, run.MinConfidence, true)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -59,13 +60,13 @@ func TestBuildScenario(t *testing.T) {
 
 func TestRecommendBadRequest(t *testing.T) {
 	s := scenario(t)
-	if _, err := s.System.Recommend(Request{From: 0, To: 0}); !errors.Is(err, ErrBadRequest) {
+	if _, err := s.System.Recommend(context.Background(), Request{From: 0, To: 0}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("same node err = %v", err)
 	}
-	if _, err := s.System.Recommend(Request{From: -1, To: 5}); !errors.Is(err, ErrBadRequest) {
+	if _, err := s.System.Recommend(context.Background(), Request{From: -1, To: 5}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("negative err = %v", err)
 	}
-	if _, err := s.System.Recommend(Request{From: 0, To: 99999}); !errors.Is(err, ErrBadRequest) {
+	if _, err := s.System.Recommend(context.Background(), Request{From: 0, To: 99999}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("out-of-range err = %v", err)
 	}
 }
@@ -73,7 +74,7 @@ func TestRecommendBadRequest(t *testing.T) {
 func TestRecommendEndToEnd(t *testing.T) {
 	s := scenario(t)
 	from, to, depart := pickOD(s)
-	resp, err := s.System.Recommend(Request{From: from, To: to, Depart: depart})
+	resp, err := s.System.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestRecommendEndToEnd(t *testing.T) {
 		}
 	}
 	// The request is now stored as truth; the same request must hit reuse.
-	resp2, err := s.System.Recommend(Request{From: from, To: to, Depart: depart})
+	resp2, err := s.System.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRecommendStagesObserved(t *testing.T) {
 		if count >= 40 || tr.Route.Empty() {
 			break
 		}
-		resp, err := s.System.Recommend(Request{
+		resp, err := s.System.Recommend(context.Background(), Request{
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		})
 		if err != nil {
@@ -139,7 +140,7 @@ func TestRecommendCrowdPath(t *testing.T) {
 	forced := New(cfg, s.Graph, s.Landmarks, s.Data, s.Pool, &PopulationOracle{Data: s.Data, Sample: 40})
 
 	from, to, depart := pickOD(s)
-	resp, err := forced.Recommend(Request{From: from, To: to, Depart: depart})
+	resp, err := forced.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestCrowdAccuracyAgainstOracle(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		resp, err := forced.Recommend(Request{From: from, To: to, Depart: depart})
+		resp, err := forced.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 		if err != nil || resp.Stage != StageCrowd {
 			continue
 		}
@@ -242,7 +243,10 @@ func TestAgreementMedoid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands := sys.generateCandidates(Request{From: 0, To: 50, Depart: routing.At(0, 10, 0)})
+	cands, err := sys.generateCandidates(context.Background(), Request{From: 0, To: 50, Depart: routing.At(0, 10, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
@@ -273,7 +277,10 @@ func TestPopulationOracle(t *testing.T) {
 func TestGenerateCandidatesDedup(t *testing.T) {
 	s := scenario(t)
 	from, to, depart := pickOD(s)
-	cands := s.System.generateCandidates(Request{From: from, To: to, Depart: depart})
+	cands, err := s.System.generateCandidates(context.Background(), Request{From: from, To: to, Depart: depart})
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[string]bool{}
 	for _, c := range cands {
 		k := c.Route.String()

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+)
+
+// forcedCrowdSystem builds a fresh system (empty truth DB and route cache)
+// whose TR shortcuts are disabled, so every request reaches the CR module.
+func forcedCrowdSystem(t *testing.T, oracle Oracle) (*Scenario, *System) {
+	t.Helper()
+	s := scenario(t)
+	cfg := s.System.Config()
+	cfg.AgreementSim = 1.01
+	cfg.EtaConfidence = 1.01
+	cfg.ReuseTruth = false
+	if oracle == nil {
+		oracle = &PopulationOracle{Data: s.Data, Sample: 30}
+	}
+	return s, New(cfg, s.Graph, s.Landmarks, s.Data, s.Pool, oracle)
+}
+
+func assertNoClaims(t *testing.T, s *Scenario) {
+	t.Helper()
+	for _, w := range s.Pool.Workers {
+		if w.Outstanding != 0 {
+			t.Errorf("worker %d outstanding = %d after cancellation", w.ID, w.Outstanding)
+		}
+	}
+}
+
+func TestRecommendCancelledBeforeCandidates(t *testing.T) {
+	s, sys := forcedCrowdSystem(t, nil)
+	from, to, depart := pickOD(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := sys.Recommend(ctx, Request{From: from, To: to, Depart: depart})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Candidate generation aborted before any provider ran: nothing was
+	// cached and no truth was stored.
+	if cs := sys.RouteCacheStats(); cs.Size != 0 {
+		t.Errorf("route cache size = %d after cancelled request", cs.Size)
+	}
+	if sys.TruthDB().Len() != 0 {
+		t.Error("cancelled request stored a truth")
+	}
+	assertNoClaims(t, s)
+}
+
+// cancellingOracle cancels the request's context from inside the pipeline —
+// a deterministic stand-in for a client disconnecting mid-request.
+type cancellingOracle struct {
+	inner  Oracle
+	cancel context.CancelFunc
+}
+
+func (o *cancellingOracle) BestRoute(from, to roadnet.NodeID, tm routing.SimTime) (roadnet.Route, error) {
+	o.cancel()
+	return o.inner.BestRoute(from, to, tm)
+}
+
+func TestRecommendCancelledMidCrowd(t *testing.T) {
+	s := scenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	oracle := &cancellingOracle{inner: &PopulationOracle{Data: s.Data, Sample: 30}, cancel: cancel}
+	_, sys := forcedCrowdSystem(t, oracle)
+
+	from, to, depart := pickOD(s)
+	_, err := sys.Recommend(ctx, Request{From: from, To: to, Depart: depart})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The claim on every assigned worker was released, no truth landed, and
+	// no pending task leaked.
+	assertNoClaims(t, s)
+	if sys.TruthDB().Len() != 0 {
+		t.Error("cancelled crowd run stored a truth")
+	}
+	if n := sys.OpenTasks(); n != 0 {
+		t.Errorf("open tasks = %d after cancellation", n)
+	}
+}
+
+func TestRecommendDeadlineExceeded(t *testing.T) {
+	s, sys := forcedCrowdSystem(t, nil)
+	from, to, depart := pickOD(s)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	_, err := sys.Recommend(ctx, Request{From: from, To: to, Depart: depart})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCandidatesCancelled(t *testing.T) {
+	s, sys := forcedCrowdSystem(t, nil)
+	from, to, depart := pickOD(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Candidates(ctx, Request{From: from, To: to, Depart: depart}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRecommendAsyncCancelledNoPendingLeak(t *testing.T) {
+	s, sys := forcedCrowdSystem(t, nil)
+	from, to, depart := pickOD(s)
+	req := Request{From: from, To: to, Depart: depart}
+
+	// Warm the route cache so a cancelled request sails past candidate
+	// generation and is caught at the claim/publication boundary instead.
+	if _, err := sys.Candidates(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp, ticket, err := sys.RecommendAsync(ctx, req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (resp=%v ticket=%v), want context.Canceled", err, resp, ticket)
+	}
+	if n := sys.OpenTasks(); n != 0 {
+		t.Errorf("open tasks = %d after cancelled async request", n)
+	}
+	assertNoClaims(t, s)
+}
+
+func TestRecommendValidationBeatsCancellation(t *testing.T) {
+	// Malformed requests fail as bad requests even when already cancelled:
+	// validation is cheap and its error is more actionable.
+	_, sys := forcedCrowdSystem(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Recommend(ctx, Request{From: 0, To: 0}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}

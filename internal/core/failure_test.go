@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestRecommendOracleFailurePropagates(t *testing.T) {
 
 	from, to, depart := pickOD(s)
 	truthsBefore := sys.TruthDB().Len()
-	_, err := sys.Recommend(Request{From: from, To: to, Depart: depart})
+	_, err := sys.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if !errors.Is(err, errOracleDown) {
 		t.Fatalf("err = %v, want oracle failure", err)
 	}
@@ -55,7 +56,7 @@ func TestRecommendNoWorkersFallsBack(t *testing.T) {
 		&PopulationOracle{Data: s.Data, Sample: 30})
 
 	from, to, depart := pickOD(s)
-	resp, err := sys.Recommend(Request{From: from, To: to, Depart: depart})
+	resp, err := sys.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestRecommendAllWorkersBusy(t *testing.T) {
 	}()
 
 	from, to, depart := pickOD(s)
-	resp, err := sys.Recommend(Request{From: from, To: to, Depart: depart})
+	resp, err := sys.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRecommendIsolatedDataset(t *testing.T) {
 		&PopulationOracle{Data: s.Data, Sample: 30})
 
 	from, to, depart := pickOD(s)
-	resp, err := sys.Recommend(Request{From: from, To: to, Depart: depart})
+	resp, err := sys.Recommend(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,10 @@ func TestRecommendIsolatedDataset(t *testing.T) {
 func TestBestByConsensus(t *testing.T) {
 	s := scenario(t)
 	from, to, depart := pickOD(s)
-	cands := s.System.Candidates(Request{From: from, To: to, Depart: depart})
+	cands, err := s.System.Candidates(context.Background(), Request{From: from, To: to, Depart: depart})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestSourceStatsAccumulateThroughPipeline(t *testing.T) {
 		if processed >= 10 || tr.Route.Empty() {
 			break
 		}
-		if _, err := sys.Recommend(Request{
+		if _, err := sys.Recommend(context.Background(), Request{
 			From: tr.Route.Source(), To: tr.Route.Dest(), Depart: tr.Depart,
 		}); err == nil {
 			processed++
@@ -114,7 +115,7 @@ func TestUseSourceReliabilityBoostsPriors(t *testing.T) {
 		&PopulationOracle{Data: s.Data, Sample: 30})
 
 	from, to, depart := pickOD(s)
-	_, cands, err := sys.resolveTraditional(Request{From: from, To: to, Depart: depart})
+	_, cands, err := sys.resolveTraditional(context.Background(), Request{From: from, To: to, Depart: depart})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package crowd
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -154,9 +155,22 @@ func RunTask(t *task.Task, workers []worker.Ranked, truthSet map[landmark.ID]boo
 
 // RunTaskHooked is RunTask with a per-question observer (may be nil).
 func RunTaskHooked(t *task.Task, workers []worker.Ranked, truthSet map[landmark.ID]bool, fam FamiliarityFn, model AnswerModel, earlyStop float64, rng *rand.Rand, hook QuestionHook) TaskRun {
+	run, _ := RunTaskCtx(context.Background(), t, workers, truthSet, fam, model, earlyStop, rng, hook)
+	return run
+}
+
+// RunTaskCtx is RunTaskHooked under a context: cancellation (or a passed
+// deadline) is observed between questions, so a caller whose client has
+// disconnected stops simulating the crowd. On cancellation it returns the
+// partial run together with ctx.Err(); rewards already granted for completed
+// questions stand.
+func RunTaskCtx(ctx context.Context, t *task.Task, workers []worker.Ranked, truthSet map[landmark.ID]bool, fam FamiliarityFn, model AnswerModel, earlyStop float64, rng *rand.Rand, hook QuestionHook) (TaskRun, error) {
 	run := TaskRun{MinConfidence: 1}
 	node := t.Tree
 	for node != nil && !node.IsLeaf() {
+		if err := ctx.Err(); err != nil {
+			return run, err
+		}
 		truth := truthSet[node.Landmark]
 		answers := AskQuestion(workers, node.Landmark, truth, fam, model, rng)
 		yes, conf, used := Aggregate(answers, earlyStop)
@@ -181,7 +195,7 @@ func RunTaskHooked(t *task.Task, workers []worker.Ranked, truthSet map[landmark.
 	if node != nil {
 		run.Resolved = node.Leaf()
 	}
-	return run
+	return run, nil
 }
 
 // RewardConfig prices worker contributions (the paper's rewarding

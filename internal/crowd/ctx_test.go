@@ -1,0 +1,41 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crowdplanner/internal/landmark"
+)
+
+func TestRunTaskCtxCancelledBeforeStart(t *testing.T) {
+	tk, truths := buildTask(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(1))
+	run, err := RunTaskCtx(ctx, tk, mkWorkers(1, 1, 1), truths[0], constFam(5), DefaultAnswerModel(), 0.9, rng, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if run.QuestionsUsed != 0 || run.AnswersUsed != 0 {
+		t.Errorf("cancelled run did work: %+v", run)
+	}
+}
+
+func TestRunTaskCtxCancelledBetweenQuestions(t *testing.T) {
+	tk, truths := buildTask(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rng := rand.New(rand.NewSource(1))
+	// Cancel from the per-question hook: the walk must stop before asking
+	// the next question, returning the partial run.
+	run, err := RunTaskCtx(ctx, tk, mkWorkers(1, 1, 1), truths[0], constFam(0), DefaultAnswerModel(), 0, rng,
+		func(_ landmark.ID, _ []Answer, _ int) { cancel() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if run.QuestionsUsed != 1 {
+		t.Errorf("questions used = %d, want exactly 1", run.QuestionsUsed)
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"time"
 
 	"crowdplanner/internal/core"
@@ -54,7 +56,7 @@ func E10Scale(requestsPerSize int) *Table {
 		t0 = time.Now()
 		var done int
 		for _, req := range reqs {
-			if _, err := sys.Recommend(req); err == nil {
+			if _, err := sys.Recommend(context.Background(), req); err == nil {
 				done++
 			}
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/popular"
 	"crowdplanner/internal/roadnet"
@@ -65,7 +67,7 @@ func E1Accuracy(odsPerRegime int) *Table {
 
 	mkSystem := func(s *core.System) func(core.Request) (roadnet.Route, bool) {
 		return func(req core.Request) (roadnet.Route, bool) {
-			resp, err := s.Recommend(req)
+			resp, err := s.Recommend(context.Background(), req)
 			if err != nil {
 				return roadnet.Route{}, false
 			}

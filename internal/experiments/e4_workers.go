@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math/rand"
 	"sort"
 
@@ -57,7 +59,8 @@ func prepareCrowdTasks(scn *core.Scenario, want int) []crowdTask {
 		if len(out) >= want {
 			break
 		}
-		ct := buildCrowdTask(scn, candSet{req: req, cands: scn.System.Candidates(req)})
+		cands, _ := scn.System.Candidates(context.Background(), req)
+		ct := buildCrowdTask(scn, candSet{req: req, cands: cands})
 		if ct == nil {
 			continue
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/roadnet"
 )
@@ -75,7 +77,7 @@ func E7Truth(streamLen int) []*Table {
 		var simSum float64
 		var simN int
 		for _, req := range requestStream(scn, streamLen, 7000) {
-			resp, err := sys.Recommend(req)
+			resp, err := sys.Recommend(context.Background(), req)
 			if err != nil {
 				continue
 			}
@@ -120,7 +122,7 @@ func E7Truth(streamLen int) []*Table {
 		}
 		var reuses, crowds, total int
 		for _, req := range stream[lo:hi] {
-			resp, err := sys.Recommend(req)
+			resp, err := sys.Recommend(context.Background(), req)
 			if err != nil {
 				continue
 			}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"net/http"
 	"strconv"
 
@@ -16,20 +15,20 @@ import (
 // and submit answers, and the task resolves when the early-stop component
 // is confident.
 //
-//	POST /api/recommend/async          — resolve via TR or publish a task
-//	GET  /api/tasks/{id}               — task state (and result once closed)
-//	POST /api/tasks/{id}/answer        — submit one worker's answer
-//	POST /api/tasks/{id}/expire        — force-close on deadline
-//	GET  /api/workers/{id}/tasks       — open questions for a worker
+//	POST /v1/recommend/async          — resolve via TR or publish a task
+//	GET  /v1/tasks/{id}               — task state (and result once closed)
+//	POST /v1/tasks/{id}/answer        — submit one worker's answer
+//	POST /v1/tasks/{id}/expire        — force-close on deadline
+//	GET  /v1/workers/{id}/tasks       — open questions for a worker
 func (s *Server) registerAsync() {
-	s.mux.HandleFunc("POST /api/recommend/async", s.handleRecommendAsync)
-	s.mux.HandleFunc("GET /api/tasks/{id}", s.handleTaskState)
-	s.mux.HandleFunc("POST /api/tasks/{id}/answer", s.handleTaskAnswer)
-	s.mux.HandleFunc("POST /api/tasks/{id}/expire", s.handleTaskExpire)
-	s.mux.HandleFunc("GET /api/workers/{id}/tasks", s.handleWorkerTasks)
+	s.register("POST", "/recommend/async", s.handleRecommendAsync)
+	s.register("GET", "/tasks/{id}", s.handleTaskState)
+	s.register("POST", "/tasks/{id}/answer", s.handleTaskAnswer)
+	s.register("POST", "/tasks/{id}/expire", s.handleTaskExpire)
+	s.register("GET", "/workers/{id}/tasks", s.handleWorkerTasks)
 }
 
-// AsyncRecommendResponse is the POST /api/recommend/async reply: either a
+// AsyncRecommendResponse is the POST /v1/recommend/async reply: either a
 // resolved recommendation or a published task ticket.
 type AsyncRecommendResponse struct {
 	Resolved *RecommendResponse `json:"resolved,omitempty"`
@@ -76,23 +75,19 @@ func (s *Server) recommendResponse(resp *core.Response, depart float64) *Recomme
 	return out
 }
 
-func (s *Server) handleRecommendAsync(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRecommendAsync(w http.ResponseWriter, r *http.Request, v1 bool) {
 	var req RecommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, r, v1, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: %v", err)
 		return
 	}
-	resp, ticket, err := s.sys.RecommendAsync(core.Request{
+	resp, ticket, err := s.sys.RecommendAsync(r.Context(), core.Request{
 		From: req.From, To: req.To,
 		Depart:      routing.SimTime(req.DepartMin),
 		DeadlineMin: req.DeadlineMin,
 	})
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, core.ErrBadRequest) {
-			status = http.StatusBadRequest
-		}
-		httpError(w, status, "%v", err)
+		writeCoreErr(w, r, v1, err)
 		return
 	}
 	out := AsyncRecommendResponse{}
@@ -104,28 +99,28 @@ func (s *Server) handleRecommendAsync(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) taskFromPath(w http.ResponseWriter, r *http.Request) (*core.PendingTask, bool) {
+func (s *Server) taskFromPath(w http.ResponseWriter, r *http.Request, v1 bool) (*core.PendingTask, bool) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad task id %q", r.PathValue("id"))
+		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "bad task id %q", r.PathValue("id"))
 		return nil, false
 	}
 	p, ok := s.sys.PendingTask(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown task %d", id)
+		writeErr(w, r, v1, http.StatusNotFound, CodeNotFound, "unknown task %d", id)
 		return nil, false
 	}
 	return p, true
 }
 
-// TaskStateResponse is the GET /api/tasks/{id} reply.
+// TaskStateResponse is the GET /v1/tasks/{id} reply.
 type TaskStateResponse struct {
 	Ticket *TicketInfo        `json:"ticket"`
 	Result *RecommendResponse `json:"result,omitempty"`
 }
 
-func (s *Server) handleTaskState(w http.ResponseWriter, r *http.Request) {
-	p, ok := s.taskFromPath(w, r)
+func (s *Server) handleTaskState(w http.ResponseWriter, r *http.Request, v1 bool) {
+	p, ok := s.taskFromPath(w, r, v1)
 	if !ok {
 		return
 	}
@@ -136,7 +131,7 @@ func (s *Server) handleTaskState(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// AnswerRequest is the POST /api/tasks/{id}/answer body.
+// AnswerRequest is the POST /v1/tasks/{id}/answer body.
 type AnswerRequest struct {
 	Worker int32 `json:"worker"`
 	Yes    bool  `json:"yes"`
@@ -148,26 +143,19 @@ type AnswerResponse struct {
 	Resolved *RecommendResponse `json:"resolved,omitempty"`
 }
 
-func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request) {
-	p, ok := s.taskFromPath(w, r)
+func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request, v1 bool) {
+	p, ok := s.taskFromPath(w, r, v1)
 	if !ok {
 		return
 	}
 	var req AnswerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, r, v1, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: %v", err)
 		return
 	}
 	resp, err := s.sys.SubmitAnswer(p.ID, worker.ID(req.Worker), req.Yes)
-	switch {
-	case errors.Is(err, core.ErrTaskClosed), errors.Is(err, core.ErrAlreadyAnswer):
-		httpError(w, http.StatusConflict, "%v", err)
-		return
-	case errors.Is(err, core.ErrNotAssigned):
-		httpError(w, http.StatusForbidden, "%v", err)
-		return
-	case err != nil:
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+	if err != nil {
+		writeCoreErr(w, r, v1, err)
 		return
 	}
 	state, _ := p.Status()
@@ -178,22 +166,19 @@ func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleTaskExpire(w http.ResponseWriter, r *http.Request) {
-	p, ok := s.taskFromPath(w, r)
+func (s *Server) handleTaskExpire(w http.ResponseWriter, r *http.Request, v1 bool) {
+	p, ok := s.taskFromPath(w, r, v1)
 	if !ok {
 		return
 	}
 	resp, err := s.sys.ExpireTask(p.ID)
-	if errors.Is(err, core.ErrTaskClosed) {
-		httpError(w, http.StatusConflict, "%v", err)
-		return
-	}
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeCoreErr(w, r, v1, err)
 		return
 	}
+	state, _ := p.Status()
 	writeJSON(w, http.StatusOK, AnswerResponse{
-		State:    p.State.String(),
+		State:    state.String(),
 		Resolved: s.recommendResponse(resp, float64(p.Req.Depart)),
 	})
 }
@@ -204,10 +189,10 @@ type WorkerTaskInfo struct {
 	Landmark int32 `json:"landmark"`
 }
 
-func (s *Server) handleWorkerTasks(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWorkerTasks(w http.ResponseWriter, r *http.Request, v1 bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad worker id %q", r.PathValue("id"))
+		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "bad worker id %q", r.PathValue("id"))
 		return
 	}
 	out := []WorkerTaskInfo{}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/routing"
+)
+
+// maxBatchBodyBytes bounds the batch request body; 256 full items fit in a
+// small fraction of this.
+const maxBatchBodyBytes = 4 << 20
+
+// BatchRecommendRequest is the POST /v1/recommend/batch body: up to the
+// server's configured limit (default 256) of independent recommend requests.
+type BatchRecommendRequest struct {
+	Items []RecommendRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome. Exactly one of Result and Error is
+// set; Status is the HTTP status the item would have received standalone.
+type BatchItemResult struct {
+	Index  int                `json:"index"`
+	Status int                `json:"status"`
+	Result *RecommendResponse `json:"result,omitempty"`
+	Error  *ErrorBody         `json:"error,omitempty"`
+}
+
+// BatchRecommendResponse is the batch reply. The call itself is 200 as long
+// as the batch was well-formed; per-item failures are reported in place so
+// one bad OD pair doesn't void the other results.
+type BatchRecommendResponse struct {
+	Results   []BatchItemResult `json:"results"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+// handleRecommendBatch fans the items through the concurrent core with
+// bounded parallelism (WithBatchLimits), amortizing per-request HTTP
+// overhead for bulk clients. The request context covers the whole batch: a
+// disconnect cancels in-flight items and fails the rest as cancelled.
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request, v1 bool) {
+	// The item-count check below only runs after decoding, so cap the body
+	// itself: without this a single huge request could exhaust memory.
+	body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	var req BatchRecommendRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, r, v1, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, r, v1, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "items must be non-empty")
+		return
+	}
+	if len(req.Items) > s.batchMaxItems {
+		writeErr(w, r, v1, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			"batch of %d items exceeds the limit of %d", len(req.Items), s.batchMaxItems)
+		return
+	}
+
+	ctx := r.Context()
+	results := make([]BatchItemResult, len(req.Items))
+	sem := make(chan struct{}, s.batchParallel)
+	var wg sync.WaitGroup
+	for i, item := range req.Items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				status, code := classify(ctx.Err())
+				results[i] = BatchItemResult{Index: i, Status: status,
+					Error: &ErrorBody{Code: code, Message: ctx.Err().Error()}}
+				return
+			}
+			resp, err := s.sys.Recommend(ctx, core.Request{
+				From: item.From, To: item.To,
+				Depart:      routing.SimTime(item.DepartMin),
+				DeadlineMin: item.DeadlineMin,
+			})
+			if err != nil {
+				status, code := classify(err)
+				results[i] = BatchItemResult{Index: i, Status: status,
+					Error: &ErrorBody{Code: code, Message: err.Error()}}
+				return
+			}
+			results[i] = BatchItemResult{Index: i, Status: http.StatusOK,
+				Result: s.recommendResponse(resp, item.DepartMin)}
+		}()
+	}
+	wg.Wait()
+
+	out := BatchRecommendResponse{Results: results}
+	for _, res := range results {
+		if res.Error == nil {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

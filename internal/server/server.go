@@ -1,19 +1,32 @@
 // Package server exposes CrowdPlanner over HTTP (the paper's server layer;
-// the mobile client is represented by any HTTP client). Endpoints:
+// the mobile client is represented by any HTTP client — see the client
+// package for the typed Go SDK).
 //
-//	POST /api/recommend   — process a route request through the full pipeline
-//	GET  /api/health      — system inventory and liveness
-//	GET  /api/truths      — the verified-truth database
-//	GET  /api/landmarks   — landmarks by significance
-//	GET  /api/workers/top — top-k eligible workers for a landmark list
-//	GET  /api/sources     — per-provider precision scoreboard
+// The current surface is versioned under /v1:
 //
-// plus the asynchronous task lifecycle (see async.go).
+//	POST /v1/recommend         — process a route request through the full pipeline
+//	POST /v1/recommend/batch   — fan N requests through the concurrent core
+//	GET  /v1/health            — inventory, cache counters, per-endpoint metrics
+//	GET  /v1/truths            — the verified-truth database (paginated)
+//	GET  /v1/landmarks         — landmarks by significance (paginated)
+//	GET  /v1/workers/top       — top-k eligible workers for a landmark list
+//	GET  /v1/sources           — per-provider precision scoreboard
+//
+// plus the asynchronous task lifecycle (see async.go). Errors on /v1 use a
+// uniform envelope {"error":{"code","message","request_id"}} with typed
+// codes (see errors.go); every request carries an X-Request-ID, is access-
+// logged, and is measured into the /v1/health endpoint metrics.
+//
+// The pre-versioning /api/* paths remain registered as deprecated aliases
+// of the same handlers with their original payload shapes (bare arrays,
+// string errors); they answer with a `Deprecation: true` header and a Link
+// to their /v1 successor.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -26,27 +39,154 @@ import (
 
 // Server wraps a core.System with an HTTP API.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	sys     *core.System
+	mux     *http.ServeMux
+	metrics *metricsRegistry
+	logger  *log.Logger
+
+	batchMaxItems int
+	batchParallel int
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger enables access and panic logging (off by default so embedded
+// test servers stay quiet).
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithBatchLimits overrides the batch endpoint's bounds: maxItems caps the
+// items per call (default 256), parallel bounds how many items run through
+// the core at once (default 8). Non-positive values keep the defaults.
+func WithBatchLimits(maxItems, parallel int) Option {
+	return func(s *Server) {
+		if maxItems > 0 {
+			s.batchMaxItems = maxItems
+		}
+		if parallel > 0 {
+			s.batchParallel = parallel
+		}
+	}
 }
 
 // New builds the server and its routes.
-func New(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
-	s.mux.HandleFunc("GET /api/health", s.handleHealth)
-	s.mux.HandleFunc("GET /api/truths", s.handleTruths)
-	s.mux.HandleFunc("GET /api/landmarks", s.handleLandmarks)
-	s.mux.HandleFunc("GET /api/workers/top", s.handleTopWorkers)
-	s.mux.HandleFunc("GET /api/sources", s.handleSources)
+func New(sys *core.System, opts ...Option) *Server {
+	s := &Server{
+		sys: sys, mux: http.NewServeMux(), metrics: newMetricsRegistry(),
+		batchMaxItems: 256, batchParallel: 8,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.register("POST", "/recommend", s.handleRecommend)
+	s.register("GET", "/health", s.handleHealth)
+	s.register("GET", "/truths", s.handleTruths)
+	s.register("GET", "/landmarks", s.handleLandmarks)
+	s.register("GET", "/workers/top", s.handleTopWorkers)
+	s.register("GET", "/sources", s.handleSources)
 	s.registerAsync()
+	s.registerV1Only("POST", "/recommend/batch", s.handleRecommendBatch)
+	// Unmatched /v1 requests get the envelope, not ServeMux's plain-text
+	// 404/405, so code-switching clients can parse every /v1 error. This
+	// prefix pattern also swallows the mux's method-mismatch handling, so
+	// probe the other methods to tell 405 from 404.
+	s.mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		var allowed []string
+		for _, m := range []string{http.MethodGet, http.MethodPost} {
+			if m == r.Method {
+				continue
+			}
+			probe := r.Clone(r.Context())
+			probe.Method = m
+			if _, pat := s.mux.Handler(probe); pat != "" && pat != "/v1/" {
+				allowed = append(allowed, m)
+			}
+		}
+		if len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeErr(w, r, true, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				"method %s not allowed for %s", r.Method, r.URL.Path)
+			return
+		}
+		writeErr(w, r, true, http.StatusNotFound, CodeNotFound, "no such endpoint: %s %s", r.Method, r.URL.Path)
+	})
 	return s
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler: request-ID assignment, access logging,
+// and panic recovery around the versioned mux.
+func (s *Server) Handler() http.Handler {
+	return withRequestID(s.withAccessLog(s.withRecovery(s.mux)))
+}
 
-// RecommendRequest is the POST /api/recommend body.
+// versionedHandler serves one endpoint for both surfaces; v1 selects the
+// /v1 payload rules (error envelope, pagination) over the legacy ones.
+type versionedHandler func(w http.ResponseWriter, r *http.Request, v1 bool)
+
+// register installs h under /v1<path> and, as a deprecated alias with the
+// legacy payload shapes, under /api<path>. Both registrations are
+// instrumented for the per-endpoint metrics.
+func (s *Server) register(method, path string, h versionedHandler) {
+	s.registerV1Only(method, path, h)
+	pat := method + " /api" + path
+	s.mux.Handle(pat, s.instrument(pat, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=%q", path, "successor-version"))
+		h(w, r, false)
+	}))
+}
+
+// registerV1Only installs h under /v1<path> only (no legacy alias).
+func (s *Server) registerV1Only(method, path string, h versionedHandler) {
+	pat := method + " /v1" + path
+	s.mux.Handle(pat, s.instrument(pat, func(w http.ResponseWriter, r *http.Request) {
+		h(w, r, true)
+	}))
+}
+
+// Page is the /v1 list envelope: one page of items plus the total count and
+// the paging parameters that produced it.
+type Page[T any] struct {
+	Items  []T `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+const (
+	defaultPageLimit = 50
+	maxPageLimit     = 500
+)
+
+// pageParams parses ?limit= and ?offset= with defaults and bounds.
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	limit, offset = defaultPageLimit, 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 {
+			return 0, 0, fmt.Errorf("bad limit parameter %q", v)
+		}
+		limit = min(n, maxPageLimit)
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad offset parameter %q", v)
+		}
+		offset = n
+	}
+	return limit, offset, nil
+}
+
+// paginate clips items to [offset, offset+limit) and wraps them in a Page.
+func paginate[T any](items []T, limit, offset int) Page[T] {
+	total := len(items)
+	lo := min(offset, total)
+	hi := min(lo+limit, total)
+	return Page[T]{Items: items[lo:hi], Total: total, Limit: limit, Offset: offset}
+}
+
+// RecommendRequest is the POST /v1/recommend body.
 type RecommendRequest struct {
 	From        roadnet.NodeID `json:"from"`
 	To          roadnet.NodeID `json:"to"`
@@ -54,7 +194,7 @@ type RecommendRequest struct {
 	DeadlineMin float64        `json:"deadline_min,omitempty"`
 }
 
-// RecommendResponse is the POST /api/recommend reply.
+// RecommendResponse is the POST /v1/recommend reply.
 type RecommendResponse struct {
 	Route      []roadnet.NodeID `json:"route"`
 	Stage      string           `json:"stage"`
@@ -83,40 +223,24 @@ type TaskInfo struct {
 	WorkersAssigned   int     `json:"workers_assigned"`
 }
 
-func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, v1 bool) {
 	var req RecommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, r, v1, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: %v", err)
 		return
 	}
-	resp, err := s.sys.Recommend(core.Request{
+	// r.Context() is cancelled when the client disconnects: the pipeline
+	// aborts candidate fan-out and the crowd loop instead of burning CPU.
+	resp, err := s.sys.Recommend(r.Context(), core.Request{
 		From: req.From, To: req.To,
 		Depart:      routing.SimTime(req.DepartMin),
 		DeadlineMin: req.DeadlineMin,
 	})
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if strings.Contains(err.Error(), "invalid request") {
-			status = http.StatusBadRequest
-		}
-		httpError(w, status, "%v", err)
+		writeCoreErr(w, r, v1, err)
 		return
 	}
-	out := RecommendResponse{
-		Route:      resp.Route.Nodes,
-		Stage:      resp.Stage.String(),
-		Confidence: resp.Confidence,
-		LengthM:    resp.Route.Length(s.sys.Graph()),
-		TravelMin:  routing.TravelMinutes(s.sys.Graph(), resp.Route, routing.SimTime(req.DepartMin)),
-	}
-	for _, c := range resp.Candidates {
-		out.Candidates = append(out.Candidates, CandidateInfo{
-			Source:  c.Source,
-			Nodes:   len(c.Route.Nodes),
-			LengthM: c.Route.Length(s.sys.Graph()),
-			Prior:   c.Prior,
-		})
-	}
+	out := s.recommendResponse(resp, req.DepartMin)
 	if resp.Task != nil {
 		ti := &TaskInfo{
 			ID:                resp.Task.ID,
@@ -135,7 +259,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// HealthResponse is the GET /api/health reply.
+// HealthResponse is the GET /api/health reply (and the core of /v1/health).
 type HealthResponse struct {
 	Status     string         `json:"status"`
 	Nodes      int            `json:"nodes"`
@@ -144,6 +268,14 @@ type HealthResponse struct {
 	Workers    int            `json:"workers"`
 	Truths     int            `json:"truths"`
 	RouteCache RouteCacheInfo `json:"route_cache"`
+}
+
+// HealthV1Response extends HealthResponse with serving metrics for /v1.
+type HealthV1Response struct {
+	HealthResponse
+	OpenTasks int                        `json:"open_tasks"`
+	UptimeSec float64                    `json:"uptime_sec"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
 // RouteCacheInfo reports the candidate route cache counters (all zero when
@@ -158,9 +290,9 @@ type RouteCacheInfo struct {
 	Capacity      int     `json:"capacity"`
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, v1 bool) {
 	cs := s.sys.RouteCacheStats()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	base := HealthResponse{
 		Status:    "ok",
 		Nodes:     s.sys.Graph().NumNodes(),
 		Edges:     s.sys.Graph().NumEdges(),
@@ -172,10 +304,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			Evictions: cs.Evictions, Invalidations: cs.Invalidations,
 			Size: cs.Size, Capacity: cs.Capacity,
 		},
+	}
+	if !v1 {
+		writeJSON(w, http.StatusOK, base)
+		return
+	}
+	endpoints, uptime := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, HealthV1Response{
+		HealthResponse: base,
+		OpenTasks:      s.sys.OpenTasks(),
+		UptimeSec:      uptime,
+		Endpoints:      endpoints,
 	})
 }
 
-// TruthInfo is one verified truth in GET /api/truths.
+// TruthInfo is one verified truth in GET /v1/truths.
 type TruthInfo struct {
 	From       roadnet.NodeID `json:"from"`
 	To         roadnet.NodeID `json:"to"`
@@ -185,7 +328,7 @@ type TruthInfo struct {
 	Nodes      int            `json:"nodes"`
 }
 
-func (s *Server) handleTruths(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request, v1 bool) {
 	entries := s.sys.TruthDB().Entries()
 	out := make([]TruthInfo, 0, len(entries))
 	for _, e := range entries {
@@ -194,10 +337,19 @@ func (s *Server) handleTruths(w http.ResponseWriter, _ *http.Request) {
 			Confidence: e.Confidence, Crowd: e.Crowd, Nodes: len(e.Route.Nodes),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	if !v1 {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paginate(out, limit, offset))
 }
 
-// LandmarkInfo is one landmark in GET /api/landmarks.
+// LandmarkInfo is one landmark in GET /v1/landmarks.
 type LandmarkInfo struct {
 	ID           int32   `json:"id"`
 	Name         string  `json:"name"`
@@ -207,34 +359,52 @@ type LandmarkInfo struct {
 	Y            float64 `json:"y"`
 }
 
-func (s *Server) handleLandmarks(w http.ResponseWriter, r *http.Request) {
-	top := 20
-	if v := r.URL.Query().Get("top"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			httpError(w, http.StatusBadRequest, "bad top parameter %q", v)
-			return
+func (s *Server) handleLandmarks(w http.ResponseWriter, r *http.Request, v1 bool) {
+	toInfo := func(ls []*landmark.Landmark) []LandmarkInfo {
+		// Allocated non-nil even when empty so the JSON is [] rather than null.
+		out := make([]LandmarkInfo, 0, len(ls))
+		for _, l := range ls {
+			out = append(out, LandmarkInfo{
+				ID: int32(l.ID), Name: l.Name, Kind: l.Kind.String(),
+				Significance: l.Significance, X: l.Pt.X, Y: l.Pt.Y,
+			})
 		}
-		top = n
+		return out
 	}
-	var out []LandmarkInfo
-	for _, l := range s.sys.Landmarks().TopBySignificance(top) {
-		out = append(out, LandmarkInfo{
-			ID: int32(l.ID), Name: l.Name, Kind: l.Kind.String(),
-			Significance: l.Significance, X: l.Pt.X, Y: l.Pt.Y,
-		})
+	if !v1 {
+		top := 20
+		if v := r.URL.Query().Get("top"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "bad top parameter %q", v)
+				return
+			}
+			top = n
+		}
+		writeJSON(w, http.StatusOK, toInfo(s.sys.Landmarks().TopBySignificance(top)))
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	// Page over the sorted set first so only the returned slice (≤ 500
+	// entries) is converted, not all landmarks per request.
+	page := paginate(s.sys.Landmarks().TopBySignificance(s.sys.Landmarks().Len()), limit, offset)
+	writeJSON(w, http.StatusOK, Page[LandmarkInfo]{
+		Items: toInfo(page.Items), Total: page.Total, Limit: page.Limit, Offset: page.Offset,
+	})
 }
 
-// WorkerInfo is one ranked worker in GET /api/workers/top.
+// WorkerInfo is one ranked worker in GET /v1/workers/top.
 type WorkerInfo struct {
 	ID     int32   `json:"id"`
 	Score  float64 `json:"score"`
 	Reward float64 `json:"reward"`
 }
 
-func (s *Server) handleTopWorkers(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTopWorkers(w http.ResponseWriter, r *http.Request, v1 bool) {
 	q := r.URL.Query()
 	var lids []landmark.ID
 	for _, part := range strings.Split(q.Get("landmarks"), ",") {
@@ -244,20 +414,20 @@ func (s *Server) handleTopWorkers(w http.ResponseWriter, r *http.Request) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad landmark id %q", part)
+			writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "bad landmark id %q", part)
 			return
 		}
 		lids = append(lids, landmark.ID(n))
 	}
 	if len(lids) == 0 {
-		httpError(w, http.StatusBadRequest, "landmarks parameter required")
+		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "landmarks parameter required")
 		return
 	}
 	k := 5
 	if v := q.Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			httpError(w, http.StatusBadRequest, "bad k parameter %q", v)
+			writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "bad k parameter %q", v)
 			return
 		}
 		k = n
@@ -273,7 +443,7 @@ func (s *Server) handleTopWorkers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// SourceInfo is one provider's scoreboard entry in GET /api/sources.
+// SourceInfo is one provider's scoreboard entry in GET /v1/sources.
 type SourceInfo struct {
 	Source    string  `json:"source"`
 	Wins      int     `json:"wins"`
@@ -283,7 +453,7 @@ type SourceInfo struct {
 
 // handleSources reports the per-provider precision scoreboard (the quality
 // control of route sources; paper §VI future work).
-func (s *Server) handleSources(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSources(w http.ResponseWriter, _ *http.Request, _ bool) {
 	stats := s.sys.SourceStats()
 	out := make([]SourceInfo, 0, len(stats))
 	for _, st := range stats {
@@ -298,8 +468,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

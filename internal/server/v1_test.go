@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crowdplanner/internal/core"
+	"crowdplanner/internal/landmark"
+)
+
+// envelope mirrors the /v1 error envelope for decoding in tests.
+type envelope struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id"`
+	} `json:"error"`
+}
+
+func decodeEnvelope(t *testing.T, resp *http.Response, wantStatus int, wantCode string) envelope {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	if env.Error.Code != wantCode {
+		t.Errorf("code = %q, want %q", env.Error.Code, wantCode)
+	}
+	if env.Error.Message == "" {
+		t.Error("empty error message")
+	}
+	if env.Error.RequestID == "" {
+		t.Error("empty request_id in envelope")
+	}
+	return env
+}
+
+func TestV1ErrorEnvelopes(t *testing.T) {
+	s, _ := testServer(t)
+
+	// 400 invalid_json: unparseable body.
+	resp, err := http.Post(s.URL+"/v1/recommend", "application/json", bytes.NewBufferString("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := decodeEnvelope(t, resp, http.StatusBadRequest, "invalid_json")
+	if rid := resp.Header.Get("X-Request-ID"); rid == "" || rid != env.Error.RequestID {
+		t.Errorf("header rid %q != envelope rid %q", rid, env.Error.RequestID)
+	}
+
+	// 400 bad_request: semantic validation, classified via errors.Is on the
+	// core sentinel (not string matching).
+	resp = postJSON(t, s.URL+"/v1/recommend", RecommendRequest{From: 3, To: 3})
+	decodeEnvelope(t, resp, http.StatusBadRequest, "bad_request")
+
+	// 400 bad_request: malformed pagination.
+	decodeEnvelope(t, mustGet(t, s.URL+"/v1/landmarks?limit=zero"), http.StatusBadRequest, "bad_request")
+	decodeEnvelope(t, mustGet(t, s.URL+"/v1/truths?offset=-1"), http.StatusBadRequest, "bad_request")
+
+	// 404 not_found: unknown task.
+	decodeEnvelope(t, mustGet(t, s.URL+"/v1/tasks/99999"), http.StatusNotFound, "not_found")
+}
+
+func TestV1AsyncErrorCodes(t *testing.T) {
+	srv, w, _ := asyncServer(t)
+	trip := w.Data.Trips[4]
+	resp := postJSON(t, srv.URL+"/v1/recommend/async", RecommendRequest{
+		From: trip.Route.Source(), To: trip.Route.Dest(), DepartMin: float64(trip.Depart),
+	})
+	out := decode[AsyncRecommendResponse](t, resp)
+	if out.Ticket == nil {
+		t.Skipf("TR resolved directly (stage %v)", out.Resolved.Stage)
+	}
+	id := out.Ticket.TaskID
+
+	// 403 not_assigned: an unassigned worker tries to answer.
+	r := postJSON(t, fmt.Sprintf("%s/v1/tasks/%d/answer", srv.URL, id), AnswerRequest{Worker: 30000, Yes: true})
+	decodeEnvelope(t, r, http.StatusForbidden, "not_assigned")
+
+	// Expire closes the task...
+	r = postJSON(t, fmt.Sprintf("%s/v1/tasks/%d/expire", srv.URL, id), nil)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("expire status = %d", r.StatusCode)
+	}
+	r.Body.Close()
+
+	// ...so a second expire and a late answer are 409 task_closed.
+	r = postJSON(t, fmt.Sprintf("%s/v1/tasks/%d/expire", srv.URL, id), nil)
+	decodeEnvelope(t, r, http.StatusConflict, "task_closed")
+	r = postJSON(t, fmt.Sprintf("%s/v1/tasks/%d/answer", srv.URL, id),
+		AnswerRequest{Worker: out.Ticket.AssignedWorkers[0], Yes: true})
+	decodeEnvelope(t, r, http.StatusConflict, "task_closed")
+}
+
+func TestV1BatchMixedItems(t *testing.T) {
+	s, w := testServer(t)
+
+	// 50 items through the concurrent core: mostly valid ODs with a few
+	// malformed ones sprinkled in; per-item errors must not void the rest.
+	const n = 50
+	invalid := map[int]bool{7: true, 23: true, 41: true}
+	items := make([]RecommendRequest, n)
+	for i := range items {
+		trip := w.Data.Trips[i%len(w.Data.Trips)]
+		items[i] = RecommendRequest{
+			From: trip.Route.Source(), To: trip.Route.Dest(),
+			DepartMin: float64(trip.Depart) + float64(i%3),
+		}
+		if invalid[i] {
+			items[i] = RecommendRequest{From: 3, To: 3} // rejected by the core
+		}
+	}
+	resp := postJSON(t, s.URL+"/v1/recommend/batch", BatchRecommendRequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	out := decode[BatchRecommendResponse](t, resp)
+	if len(out.Results) != n {
+		t.Fatalf("results = %d, want %d", len(out.Results), n)
+	}
+	if out.Succeeded+out.Failed != n || out.Failed < len(invalid) {
+		t.Errorf("succeeded=%d failed=%d", out.Succeeded, out.Failed)
+	}
+	for i, res := range out.Results {
+		if res.Index != i {
+			t.Fatalf("result %d has index %d", i, res.Index)
+		}
+		if invalid[i] {
+			if res.Error == nil || res.Error.Code != CodeBadRequest || res.Status != http.StatusBadRequest {
+				t.Errorf("item %d: expected bad_request, got %+v", i, res)
+			}
+			continue
+		}
+		if res.Error != nil {
+			t.Errorf("item %d failed: %+v", i, res.Error)
+			continue
+		}
+		if res.Status != http.StatusOK || len(res.Result.Route) < 2 {
+			t.Errorf("item %d: bad result %+v", i, res)
+		}
+	}
+}
+
+func TestV1BatchValidation(t *testing.T) {
+	s, w := testServer(t)
+	// Empty batch.
+	resp := postJSON(t, s.URL+"/v1/recommend/batch", BatchRecommendRequest{})
+	decodeEnvelope(t, resp, http.StatusBadRequest, "bad_request")
+
+	// Over the configured item limit.
+	small := httptest.NewServer(New(w.System, WithBatchLimits(2, 1)).Handler())
+	defer small.Close()
+	trip := w.Data.Trips[0]
+	item := RecommendRequest{From: trip.Route.Source(), To: trip.Route.Dest(), DepartMin: float64(trip.Depart)}
+	resp = postJSON(t, small.URL+"/v1/recommend/batch",
+		BatchRecommendRequest{Items: []RecommendRequest{item, item, item}})
+	decodeEnvelope(t, resp, http.StatusRequestEntityTooLarge, "too_large")
+}
+
+func TestV1Pagination(t *testing.T) {
+	s, w := testServer(t)
+	// Seed at least one truth.
+	trip := w.Data.Trips[2]
+	postJSON(t, s.URL+"/v1/recommend", RecommendRequest{
+		From: trip.Route.Source(), To: trip.Route.Dest(), DepartMin: float64(trip.Depart),
+	}).Body.Close()
+
+	truths := decode[Page[TruthInfo]](t, mustGet(t, s.URL+"/v1/truths?limit=1"))
+	if truths.Total < 1 || len(truths.Items) != 1 || truths.Limit != 1 || truths.Offset != 0 {
+		t.Errorf("truths page = %+v", truths)
+	}
+
+	// Offset past the end: items must be [] (present, empty), not null.
+	resp := mustGet(t, fmt.Sprintf("%s/v1/truths?offset=%d", s.URL, truths.Total+100))
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), `"items":[]`) {
+		t.Errorf("past-the-end page items not []: %s", raw)
+	}
+
+	lms := decode[Page[LandmarkInfo]](t, mustGet(t, s.URL+"/v1/landmarks?limit=5&offset=2"))
+	if len(lms.Items) != 5 || lms.Total != w.Landmarks.Len() || lms.Offset != 2 {
+		t.Errorf("landmarks page = %+v", lms)
+	}
+	for i := 1; i < len(lms.Items); i++ {
+		if lms.Items[i].Significance > lms.Items[i-1].Significance {
+			t.Error("landmarks not sorted by significance")
+		}
+	}
+	// Pages tile without gap or overlap: offset=2 starts at the third item.
+	first := decode[Page[LandmarkInfo]](t, mustGet(t, s.URL+"/v1/landmarks?limit=3"))
+	if first.Items[2].ID != lms.Items[0].ID {
+		t.Errorf("offset=2 page should start at the limit=3 page's third item")
+	}
+}
+
+func TestLegacyAliasShapes(t *testing.T) {
+	_, w := testServer(t)
+	// A fresh system: empty truth DB and untouched source stats.
+	fresh := core.New(w.System.Config(), w.Graph, w.Landmarks, w.Data, w.Pool,
+		&core.PopulationOracle{Data: w.Data, Sample: 30})
+	srv := httptest.NewServer(New(fresh).Handler())
+	defer srv.Close()
+
+	// Deprecated aliases answer with a Deprecation header and a pointer to
+	// the /v1 successor.
+	resp := mustGet(t, srv.URL+"/api/truths")
+	if resp.Header.Get("Deprecation") != "true" || !strings.Contains(resp.Header.Get("Link"), "/v1/truths") {
+		t.Errorf("missing deprecation headers: %v", resp.Header)
+	}
+	// Legacy payload shape: a bare array — and [] (not null) when empty.
+	for _, path := range []string{"/api/truths", "/api/sources"} {
+		r := mustGet(t, srv.URL+path)
+		raw, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if got := strings.TrimSpace(string(raw)); got != "[]" {
+			t.Errorf("%s empty body = %q, want []", path, got)
+		}
+	}
+	resp.Body.Close()
+
+	// Legacy error shape: {"error": "<message>"} with the same statuses.
+	r := postJSON(t, srv.URL+"/api/recommend", RecommendRequest{From: 3, To: 3})
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("legacy bad request status = %d", r.StatusCode)
+	}
+	var legacy map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy["error"] == "" {
+		t.Errorf("legacy error shape = %v", legacy)
+	}
+
+	// Legacy health keeps the pre-versioning shape: no serving metrics.
+	hr := mustGet(t, srv.URL+"/api/health")
+	raw, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if strings.Contains(string(raw), `"endpoints"`) {
+		t.Error("legacy /api/health grew v1-only fields")
+	}
+}
+
+func TestLegacyLandmarksEmptyIsArray(t *testing.T) {
+	_, w := testServer(t)
+	cfg := w.System.Config()
+	cfg.UsePMF = false // no familiarity model to fit over zero landmarks
+	empty := core.New(cfg, w.Graph, landmark.NewSet(nil), w.Data, w.Pool,
+		&core.PopulationOracle{Data: w.Data, Sample: 30})
+	srv := httptest.NewServer(New(empty).Handler())
+	defer srv.Close()
+
+	r := mustGet(t, srv.URL+"/api/landmarks")
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if got := strings.TrimSpace(string(raw)); got != "[]" {
+		t.Errorf("/api/landmarks empty body = %q, want []", got)
+	}
+}
+
+func TestV1HealthMetricsAndRequestID(t *testing.T) {
+	_, w := testServer(t)
+	srv := httptest.NewServer(New(w.System).Handler())
+	defer srv.Close()
+
+	// A client-supplied request ID is honored and echoed.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/health", nil)
+	req.Header.Set("X-Request-ID", "test-rid-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-ID"); rid != "test-rid-1" {
+		t.Errorf("echoed rid = %q", rid)
+	}
+
+	h := decode[HealthV1Response](t, mustGet(t, srv.URL+"/v1/health"))
+	if h.Status != "ok" || h.OpenTasks != 0 || h.UptimeSec <= 0 {
+		t.Errorf("health = %+v", h)
+	}
+	em, ok := h.Endpoints["GET /v1/health"]
+	if !ok || em.Count < 1 {
+		t.Errorf("no metrics for GET /v1/health: %+v", h.Endpoints)
+	}
+	if em.AvgMs < 0 || em.MaxMs < em.AvgMs {
+		t.Errorf("latency aggregates inconsistent: %+v", em)
+	}
+}
+
+func TestV1UnmatchedRoutesUseEnvelope(t *testing.T) {
+	s, _ := testServer(t)
+	// Unknown path: envelope 404, not ServeMux's plain-text page.
+	decodeEnvelope(t, mustGet(t, s.URL+"/v1/nope"), http.StatusNotFound, "not_found")
+
+	// Wrong method on a known path: envelope 405 with Allow.
+	resp := mustGet(t, s.URL+"/v1/recommend")
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+	decodeEnvelope(t, resp, http.StatusMethodNotAllowed, "method_not_allowed")
+}
