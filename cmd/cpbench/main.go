@@ -9,13 +9,21 @@
 //	cpbench -list
 //	cpbench -parallel 8         # throughput mode: hammer Recommend from 8 goroutines
 //	cpbench -parallel 1 -requests 5000 -cold
+//	cpbench -exp E1 -json BENCH_e1.json       # machine-readable results
+//	cpbench -parallel 8 -json BENCH_tput.json
+//
+// With -json, one result per experiment (or one for the throughput run) is
+// written as a JSON array of {name, runs, ns_per_op, allocs_per_op, extra},
+// so successive runs accumulate a comparable perf trajectory (BENCH_*.json).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +32,16 @@ import (
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/experiments"
 )
+
+// BenchResult is one machine-readable benchmark measurement, mirroring the
+// fields of testing.B output that matter for trend tracking.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
 
 func main() {
 	var (
@@ -34,6 +52,7 @@ func main() {
 		requests = flag.Int("requests", 4000, "throughput mode: total requests to issue")
 		cold     = flag.Bool("cold", false, "throughput mode: disable truth reuse (full evaluation every request)")
 		nocache  = flag.Bool("nocache", false, "throughput mode: disable the route cache as well")
+		jsonOut  = flag.String("json", "", "write machine-readable results (name, ns/op, allocs) to this file")
 	)
 	flag.Parse()
 
@@ -43,25 +62,86 @@ func main() {
 		}
 		return
 	}
+	var results []BenchResult
 	if *parallel > 0 {
-		if err := runThroughput(*parallel, *requests, *cold, *nocache); err != nil {
-			fmt.Fprintln(os.Stderr, "cpbench:", err)
-			os.Exit(1)
+		res, err := runThroughput(*parallel, *requests, *cold, *nocache)
+		if err != nil {
+			fatal(err)
 		}
-		return
-	}
-	var ids []string
-	if *exp != "all" && *exp != "" {
-		for _, id := range strings.Split(*exp, ",") {
-			if id = strings.TrimSpace(id); id != "" {
-				ids = append(ids, id)
+		results = append(results, res)
+	} else {
+		var ids []string
+		if *exp != "all" && *exp != "" {
+			for _, id := range strings.Split(*exp, ",") {
+				if id = strings.TrimSpace(id); id != "" {
+					ids = append(ids, id)
+				}
 			}
 		}
+		selected, err := experiments.Select(ids)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range selected {
+			fmt.Printf("# %s — %s\n", s.ID, s.Title)
+			// Only the experiment runs inside the timed region; table
+			// formatting and terminal writes would otherwise pollute the
+			// ns_per_op trend data.
+			var tables []*experiments.Table
+			res := measure("exp/"+s.ID, 1, func() {
+				tables = s.Run(*scale)
+			})
+			for _, tbl := range tables {
+				tbl.Fprint(os.Stdout)
+			}
+			res.Extra = map[string]float64{"scale": *scale}
+			results = append(results, res)
+		}
 	}
-	if err := experiments.RunAll(os.Stdout, ids, *scale); err != nil {
-		fmt.Fprintln(os.Stderr, "cpbench:", err)
-		os.Exit(1)
+	if *jsonOut != "" {
+		if err := writeResults(*jsonOut, results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d result(s) to %s\n", len(results), *jsonOut)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpbench:", err)
+	os.Exit(1)
+}
+
+// measure times ops executions of f and attributes allocations to it.
+func measure(name string, ops int, f func()) BenchResult {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if ops < 1 {
+		ops = 1
+	}
+	return BenchResult{
+		Name:        name,
+		Runs:        ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}
+}
+
+func writeResults(path string, results []BenchResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runThroughput measures end-to-end Recommend throughput over the standard
@@ -70,7 +150,7 @@ func main() {
 // full evaluation (the route cache then absorbs the repeat graph searches;
 // add -nocache to measure the uncached pipeline). Otherwise the run reports
 // the steady-state (truth reuse) serving rate.
-func runThroughput(workers, requests int, cold, nocache bool) error {
+func runThroughput(workers, requests int, cold, nocache bool) (BenchResult, error) {
 	cfg := core.SmallScenarioConfig()
 	if cold {
 		cfg.System.ReuseTruth = false
@@ -92,7 +172,7 @@ func runThroughput(workers, requests int, cold, nocache bool) error {
 		})
 	}
 	if len(reqs) == 0 {
-		return fmt.Errorf("scenario produced no usable trips")
+		return BenchResult{}, fmt.Errorf("scenario produced no usable trips")
 	}
 
 	var (
@@ -101,46 +181,50 @@ func runThroughput(workers, requests int, cold, nocache bool) error {
 		stages [5]atomic.Int64
 		wg     sync.WaitGroup
 	)
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(requests) {
-					return
-				}
-				resp, err := scn.System.Recommend(context.Background(), reqs[i%int64(len(reqs))])
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				if st := int(resp.Stage); st >= 0 && st < len(stages) {
-					stages[st].Add(1)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
 	mode := "warm"
 	if cold {
 		mode = "cold"
 	}
+	res := measure(fmt.Sprintf("throughput/%s/parallel=%d", mode, workers), requests, func() {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(requests) {
+						return
+					}
+					resp, err := scn.System.Recommend(context.Background(), reqs[i%int64(len(reqs))])
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					if st := int(resp.Stage); st >= 0 && st < len(stages) {
+						stages[st].Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	elapsed := time.Duration(res.NsPerOp * float64(requests))
+
 	fmt.Printf("\n== throughput (%s, parallel=%d) ==\n", mode, workers)
 	fmt.Printf("  requests   %d (%d errors)\n", requests, errs.Load())
 	fmt.Printf("  elapsed    %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  rate       %.0f req/s\n", float64(requests)/elapsed.Seconds())
+	rate := float64(requests) / elapsed.Seconds()
+	fmt.Printf("  rate       %.0f req/s\n", rate)
+	res.Extra = map[string]float64{"rate_rps": rate, "errors": float64(errs.Load())}
 	for st := range stages {
 		if n := stages[st].Load(); n > 0 {
 			fmt.Printf("  stage %-10s %d\n", core.Stage(st), n)
+			res.Extra["stage_"+core.Stage(st).String()] = float64(n)
 		}
 	}
 	cs := scn.System.RouteCacheStats()
 	fmt.Printf("  route cache  hits=%d misses=%d (%.0f%% hit) size=%d/%d evictions=%d invalidations=%d\n",
 		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Size, cs.Capacity, cs.Evictions, cs.Invalidations)
 	fmt.Printf("  truths       %d\n", scn.System.TruthDB().Len())
-	return nil
+	return res, nil
 }

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	cpserver -addr :8080 -size small
+//	cpserver -addr :8080 -size small -data-dir ./cpdata
 //
 // Then:
 //
 //	curl -s localhost:8080/v1/health
 //	curl -s -X POST localhost:8080/v1/recommend \
 //	     -d '{"from":3,"to":317,"depart_min":510}'
+//
+// With -data-dir the mutable state (verified truths, worker rewards and
+// histories, open crowd tasks) persists in a snapshot + write-ahead log:
+// state is replayed on boot, every commit is WAL-logged as it happens (so
+// even a kill -9 loses nothing durable), and a full snapshot is written on
+// graceful shutdown, compacting the log. POST /v1/admin/snapshot checkpoints
+// on demand.
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests get
 // -grace to finish (their contexts are cancelled at the deadline, which the
@@ -29,13 +36,16 @@ import (
 
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/server"
+	"crowdplanner/internal/store/diskstore"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		size  = flag.String("size", "default", "scenario size: small or default")
-		grace = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		addr    = flag.String("addr", ":8080", "listen address")
+		size    = flag.String("size", "default", "scenario size: small or default")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		dataDir = flag.String("data-dir", "", "directory for durable state (snapshot + WAL); empty keeps state in memory only")
+		noSync  = flag.Bool("no-fsync", false, "skip the fsync after each WAL append (faster, loses the last commits on power failure)")
 	)
 	flag.Parse()
 
@@ -43,11 +53,40 @@ func main() {
 	if *size == "small" {
 		cfg = core.SmallScenarioConfig()
 	}
+
+	var ds *diskstore.Store
+	if *dataDir != "" {
+		var opts []diskstore.Option
+		if *noSync {
+			opts = append(opts, diskstore.WithoutSync())
+		}
+		var err error
+		if ds, err = diskstore.Open(*dataDir, opts...); err != nil {
+			log.Fatal(err)
+		}
+		cfg.System.Store = ds
+	}
+
 	log.Printf("building %s scenario...", *size)
 	scn := core.BuildScenario(cfg)
 	log.Printf("city: %d nodes, %d edges; %d landmarks; %d trips; %d workers",
 		scn.Graph.NumNodes(), scn.Graph.NumEdges(),
 		scn.Landmarks.Len(), len(scn.Data.Trips), scn.Pool.Len())
+
+	if ds != nil {
+		stats, err := scn.System.LoadFromStore(context.Background())
+		if err != nil {
+			log.Fatalf("restoring %s: %v", *dataDir, err)
+		}
+		msg := ""
+		if stats.Truncated {
+			msg = " (torn WAL tail recovered)"
+		}
+		// TruthDB().Len(), not stats.LoadedTruths: the latter counts raw log
+		// records, including ones superseded by later commits to the same key.
+		log.Printf("restored from %s: %d truths, %d workers, %d open tasks%s",
+			*dataDir, scn.System.TruthDB().Len(), stats.LoadedWorkers, stats.LoadedTasks, msg)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -83,6 +122,18 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		if ds != nil {
+			// Checkpoint the drained state and compact the WAL, so the next
+			// boot replays one snapshot instead of the whole log.
+			if stats, err := scn.System.Snapshot(); err != nil {
+				log.Printf("final snapshot: %v (WAL still holds every commit)", err)
+			} else {
+				log.Printf("snapshot written: %d truths, %d snapshots total", scn.System.TruthDB().Len(), stats.Snapshots)
+			}
+			if err := ds.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
 		}
 		log.Printf("bye")
 	}

@@ -30,6 +30,8 @@ import (
 	"crowdplanner/internal/roadnet"
 	"crowdplanner/internal/routing"
 	"crowdplanner/internal/server"
+	"crowdplanner/internal/store"
+	"crowdplanner/internal/store/diskstore"
 )
 
 // Core request/response types, re-exported from the system core.
@@ -60,6 +62,15 @@ type (
 	Route = roadnet.Route
 	// SimTime is a simulated departure time (minutes since Monday 00:00).
 	SimTime = routing.SimTime
+
+	// Store is the pluggable storage backend contract for the system's
+	// mutable state (verified truths, worker histories/rewards, pending
+	// crowd tasks). Set one on Config.Store; nil keeps state in memory.
+	Store = store.Store
+	// StoreStats are a backend's observability counters.
+	StoreStats = store.Stats
+	// DiskStore is the durable snapshot + write-ahead-log backend.
+	DiskStore = diskstore.Store
 )
 
 // Resolution stages, in the order the control logic tries them.
@@ -92,6 +103,12 @@ var NewSystem = core.New
 
 // At constructs a SimTime from a day of week (0 = Monday) and a 24h clock.
 func At(day, hour, minute int) SimTime { return routing.At(day, hour, minute) }
+
+// OpenDiskStore opens (or creates) a durable snapshot+WAL store rooted at
+// dir. Wire it into ScenarioConfig.System.Store before BuildScenario, then
+// call System.LoadFromStore to replay persisted state; see
+// examples/persistence.
+func OpenDiskStore(dir string) (*DiskStore, error) { return diskstore.Open(dir) }
 
 // NewHTTPHandler exposes a system over HTTP (see internal/server for the
 // endpoint catalogue).

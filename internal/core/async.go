@@ -64,6 +64,13 @@ type PendingTask struct {
 	node     *task.TreeNode // current position in the question tree
 	answers  []crowd.Answer // answers to the current question
 	answered map[worker.ID]bool
+	// decisions records the yes/no branch taken at each closed question, in
+	// order — the storage layer persists it so a restarted server can walk a
+	// regenerated tree back to the current position.
+	decisions []bool
+	// published marks tasks that were registered (and logged as open); only
+	// those log a close event.
+	published bool
 	// stats
 	questionsUsed int
 	answersUsed   int
@@ -137,7 +144,7 @@ func (s *System) RecommendAsync(ctx context.Context, req Request) (*Response, *P
 
 	merged := task.MergeIndistinguishable(cands)
 	if len(merged) == 1 {
-		s.storeTruth(req, merged[0].Route, 0.5, false)
+		s.logTruth(s.storeTruth(req, merged[0].Route, 0.5, false))
 		return &Response{Route: merged[0].Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands}, nil, nil
 	}
 
@@ -160,7 +167,7 @@ func (s *System) RecommendAsync(ctx context.Context, req Request) (*Response, *P
 	s.poolMu.RUnlock()
 	if len(assigned) == 0 {
 		best := bestByConsensus(merged)
-		s.storeTruth(req, best.Route, 0.5, false)
+		s.logTruth(s.storeTruth(req, best.Route, 0.5, false))
 		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil, nil
 	}
 
@@ -169,7 +176,7 @@ func (s *System) RecommendAsync(ctx context.Context, req Request) (*Response, *P
 	assigned = s.claimWorkers(assigned, selCfg)
 	if len(assigned) == 0 {
 		best := bestByConsensus(merged)
-		s.storeTruth(req, best.Route, 0.5, false)
+		s.logTruth(s.storeTruth(req, best.Route, 0.5, false))
 		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -191,7 +198,9 @@ func (s *System) RecommendAsync(ctx context.Context, req Request) (*Response, *P
 	// A degenerate tree (single candidate after merge handled above, but a
 	// defensive leaf root) resolves immediately.
 	if p.node == nil || p.node.IsLeaf() {
-		s.finishPending(p, TaskResolved, 1)
+		var batch walBatch
+		s.finishPending(p, TaskResolved, 1, &batch)
+		s.flushWAL(&batch)
 		return p.Result, nil, nil
 	}
 
@@ -200,7 +209,12 @@ func (s *System) RecommendAsync(ctx context.Context, req Request) (*Response, *P
 		s.pending = make(map[int64]*PendingTask)
 	}
 	s.pending[id] = p
+	p.published = true
+	rec := pendingToRecord(p)
 	s.mu.Unlock()
+	// Logged before the ticket is returned: a client can only reference the
+	// task after its open record is durable.
+	s.logTaskOpen(rec)
 	return nil, p, nil
 }
 
@@ -225,7 +239,7 @@ func (s *System) resolveTraditional(ctx context.Context, req Request) (*Response
 		return nil, nil, ErrNoCandidates
 	}
 	if best, sim, ok := s.agreement(cands); ok {
-		s.storeTruth(req, best.Route, sim, false)
+		s.logTruth(s.storeTruth(req, best.Route, sim, false))
 		s.reliance.record(cands, best.Route)
 		return &Response{Route: best.Route, Stage: StageAgreement, Confidence: sim, Candidates: cands}, nil, nil
 	}
@@ -238,7 +252,7 @@ func (s *System) resolveTraditional(ctx context.Context, req Request) (*Response
 		}
 	}
 	if bestIdx >= 0 && bestConf >= s.cfg.EtaConfidence {
-		s.storeTruth(req, cands[bestIdx].Route, bestConf, false)
+		s.logTruth(s.storeTruth(req, cands[bestIdx].Route, bestConf, false))
 		s.reliance.record(cands, cands[bestIdx].Route)
 		return &Response{
 			Route: cands[bestIdx].Route, Stage: StageConfidence,
@@ -303,8 +317,18 @@ func (s *System) OpenTasks() int {
 // or every assigned worker answered), the task advances down the tree; on
 // reaching a leaf the task resolves, the winner is stored as truth, workers
 // are rewarded, and the final Response is returned. Until then the returned
-// Response is nil.
+// Response is nil. Commit records produced under the lock are flushed to the
+// storage backend before returning.
 func (s *System) SubmitAnswer(id int64, w worker.ID, yes bool) (*Response, error) {
+	var batch walBatch
+	resp, err := s.submitAnswerBatched(id, w, yes, &batch)
+	s.flushWAL(&batch)
+	return resp, err
+}
+
+// submitAnswerBatched takes mu itself and collects commit records into
+// batch for the caller to flush after the lock is released.
+func (s *System) submitAnswerBatched(id int64, w worker.ID, yes bool, batch *walBatch) (*Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.pending[id]
@@ -329,7 +353,7 @@ func (s *System) SubmitAnswer(id int64, w worker.ID, yes bool) (*Response, error
 	if !decided {
 		return nil, nil
 	}
-	s.advancePending(p, goYes)
+	s.advancePending(p, goYes, batch)
 	if p.State == TaskResolved {
 		return p.Result, nil
 	}
@@ -363,8 +387,9 @@ func (s *System) questionDecided(p *PendingTask) (decided, yes bool) {
 }
 
 // advancePending closes the current question, rewards its answers, and
-// descends the tree; resolves the task at a leaf. Caller holds mu.
-func (s *System) advancePending(p *PendingTask, yes bool) {
+// descends the tree; resolves the task at a leaf. Caller holds mu; commit
+// records go into batch for the caller to flush after release.
+func (s *System) advancePending(p *PendingTask, yes bool, batch *walBatch) {
 	lm := p.node.Landmark
 	// Reward by participation; correctness is judged against the decided
 	// outcome (majority), the usual proxy when no oracle exists.
@@ -372,26 +397,29 @@ func (s *System) advancePending(p *PendingTask, yes bool) {
 		p.answers[i].Correct = p.answers[i].Yes == yes
 	}
 	s.poolMu.Lock()
-	crowd.Reward(s.pool, lm, p.answers, len(p.answers), s.cfg.Rewards)
+	batch.events = append(batch.events, crowd.Reward(s.pool, lm, p.answers, len(p.answers), s.cfg.Rewards)...)
 	s.poolMu.Unlock()
 	p.questionsUsed++
 	p.answersUsed += len(p.answers)
 	p.answers = nil
 	p.answered = make(map[worker.ID]bool)
 
+	p.decisions = append(p.decisions, yes)
+	batch.decis = append(batch.decis, taskDecision{id: p.ID, index: len(p.decisions) - 1, yes: yes})
 	if yes {
 		p.node = p.node.Yes
 	} else {
 		p.node = p.node.No
 	}
 	if p.node == nil || p.node.IsLeaf() {
-		s.finishPending(p, TaskResolved, 0)
+		s.finishPending(p, TaskResolved, 0, batch)
 	}
 }
 
 // finishPending finalizes a pending task. Caller holds mu (or the task is
-// not yet registered). confOverride > 0 forces a confidence value.
-func (s *System) finishPending(p *PendingTask, state TaskState, confOverride float64) {
+// not yet registered) and flushes batch after release. confOverride > 0
+// forces a confidence value.
+func (s *System) finishPending(p *PendingTask, state TaskState, confOverride float64, batch *walBatch) {
 	var winner task.Candidate
 	conf := confOverride
 	switch {
@@ -410,7 +438,7 @@ func (s *System) finishPending(p *PendingTask, state TaskState, confOverride flo
 	if state == TaskExpired {
 		stage = StageFallback
 	}
-	s.storeTruth(p.Req, winner.Route, conf, state == TaskResolved)
+	batch.truths = append(batch.truths, s.storeTruth(p.Req, winner.Route, conf, state == TaskResolved))
 	if state == TaskResolved {
 		s.reliance.record(p.Task.Candidates, winner.Route)
 	}
@@ -426,6 +454,9 @@ func (s *System) finishPending(p *PendingTask, state TaskState, confOverride flo
 		Candidates: p.Task.Candidates, Task: p.Task, Run: &run, Workers: p.Assigned,
 	}
 	p.State = state
+	if p.published {
+		batch.closes = append(batch.closes, p.ID)
+	}
 	s.poolMu.Lock()
 	for _, r := range p.Assigned {
 		if r.Worker.Outstanding > 0 {
@@ -447,15 +478,20 @@ func indexOf(cands []task.Candidate, c task.Candidate) int {
 // ExpireTask forcibly closes an open task (deadline passed); the provider
 // consensus route is stored with low confidence.
 func (s *System) ExpireTask(id int64) (*Response, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pending[id]
-	if !ok {
-		return nil, ErrUnknownTask
-	}
-	if p.State != TaskOpen {
-		return nil, ErrTaskClosed
-	}
-	s.finishPending(p, TaskExpired, 0)
-	return p.Result, nil
+	var batch walBatch
+	resp, err := func() (*Response, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		p, ok := s.pending[id]
+		if !ok {
+			return nil, ErrUnknownTask
+		}
+		if p.State != TaskOpen {
+			return nil, ErrTaskClosed
+		}
+		s.finishPending(p, TaskExpired, 0, &batch)
+		return p.Result, nil
+	}()
+	s.flushWAL(&batch)
+	return resp, err
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"crowdplanner/internal/calibrate"
 	"crowdplanner/internal/crowd"
@@ -21,6 +22,7 @@ import (
 	"crowdplanner/internal/roadnet"
 	"crowdplanner/internal/routecache"
 	"crowdplanner/internal/routing"
+	"crowdplanner/internal/store"
 	"crowdplanner/internal/task"
 	"crowdplanner/internal/traj"
 	"crowdplanner/internal/truth"
@@ -117,6 +119,15 @@ type Config struct {
 	// EXPERIMENTS.md.
 	UseSourceReliability bool
 
+	// Store is the storage backend for the system's mutable state: verified
+	// truths, worker rewards/answer histories, and pending async crowd
+	// tasks. Commits are logged to it as they happen. nil keeps the
+	// pre-storage-layer behaviour — state lives (and dies) with the
+	// process; commits are counted but not retained (store.Discard). With a
+	// durable backend (diskstore), call LoadFromStore after New and before
+	// serving to replay persisted state.
+	Store store.Store
+
 	Seed int64
 }
 
@@ -193,11 +204,28 @@ type System struct {
 
 	poolMu   sync.RWMutex        // guards Outstanding/Reward/History on pool workers
 	reliance *reliabilityTracker // per-source precision (future work §VI)
+
+	// backend receives every state commit (truths, worker events, task
+	// lifecycle) as it happens; see internal/store and persist.go for the
+	// locking contract (appends never run under mu/poolMu). appendErrs
+	// counts failed appends — the serving path never blocks on a sick
+	// backend; the count is surfaced on /v1/health.
+	backend    store.Store
+	appendErrs atomic.Uint64
 }
 
 // New assembles a system over the given substrates. The landmark set must
-// already carry significances (run InferSignificance first).
+// already carry significances (run InferSignificance first). When the config
+// carries a durable storage backend, call LoadFromStore before serving to
+// replay persisted state.
 func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, pool *worker.Pool, oracle Oracle) *System {
+	backend := cfg.Store
+	if backend == nil {
+		// No persistence configured: count commits for observability but
+		// retain nothing (an unconsumed in-memory log would grow without
+		// bound in long-lived servers and benchmarks).
+		backend = store.Discard()
+	}
 	s := &System{
 		cfg:       cfg,
 		graph:     g,
@@ -209,7 +237,11 @@ func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, po
 		oracle:    oracle,
 		routes:    routecache.New[[]task.Candidate](cfg.RouteCacheCapacity),
 		reliance:  newReliabilityTracker(),
+		backend:   backend,
 	}
+	// Spatial truth index: bucket truths by from-endpoint cell sized to the
+	// confidence query radius, so Near touches only nearby buckets.
+	s.truth.EnableSpatialIndex(g, cfg.TruthRadius)
 	s.RefreshFamiliarity()
 	return s
 }
@@ -566,7 +598,7 @@ func (s *System) crowdResolve(ctx context.Context, req Request, cands []task.Can
 	merged := task.MergeIndistinguishable(cands)
 	if len(merged) == 1 {
 		// All candidates look identical to humans; no task needed.
-		s.storeTruth(req, merged[0].Route, 0.5, false)
+		s.logTruth(s.storeTruth(req, merged[0].Route, 0.5, false))
 		return &Response{Route: merged[0].Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands}, nil
 	}
 
@@ -591,14 +623,14 @@ func (s *System) crowdResolve(ctx context.Context, req Request, cands []task.Can
 	s.poolMu.RUnlock()
 	if len(assigned) == 0 {
 		best := bestByConsensus(merged)
-		s.storeTruth(req, best.Route, 0.5, false)
+		s.logTruth(s.storeTruth(req, best.Route, 0.5, false))
 		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil
 	}
 	assigned = s.claimWorkers(assigned, selCfg)
 	if len(assigned) == 0 {
 		// Every selected worker hit quota between selection and claim.
 		best := bestByConsensus(merged)
-		s.storeTruth(req, best.Route, 0.5, false)
+		s.logTruth(s.storeTruth(req, best.Route, 0.5, false))
 		return &Response{Route: best.Route, Stage: StageFallback, Confidence: 0.5, Candidates: cands, Task: tk}, nil
 	}
 	defer func() {
@@ -638,8 +670,9 @@ func (s *System) crowdResolve(ctx context.Context, req Request, cands []task.Can
 	run, err := crowd.RunTaskCtx(ctx, tk, assigned, truthSet, fam, s.cfg.Answers, s.cfg.EarlyStop, rng,
 		func(l landmark.ID, answers []crowd.Answer, used int) {
 			s.poolMu.Lock()
-			crowd.Reward(s.pool, l, answers, used, s.cfg.Rewards)
+			events := crowd.Reward(s.pool, l, answers, used, s.cfg.Rewards)
 			s.poolMu.Unlock()
+			s.logWorkerEvents(events)
 		})
 	if err != nil {
 		// Cancelled mid-task: rewards for completed questions stand, but no
@@ -648,7 +681,7 @@ func (s *System) crowdResolve(ctx context.Context, req Request, cands []task.Can
 	}
 
 	winner := merged[run.Resolved]
-	s.storeTruth(req, winner.Route, run.MinConfidence, true)
+	s.logTruth(s.storeTruth(req, winner.Route, run.MinConfidence, true))
 	s.reliance.record(merged, winner.Route)
 	return &Response{
 		Route: winner.Route, Stage: StageCrowd, Confidence: run.MinConfidence,
@@ -684,21 +717,26 @@ func bestByConsensus(cands []task.Candidate) task.Candidate {
 	return cands[best]
 }
 
-func (s *System) storeTruth(req Request, route roadnet.Route, conf float64, byCrowd bool) {
+// storeTruth commits a verified truth to the in-memory database and returns
+// the stored entry so the caller can log it to the storage backend —
+// immediately when no core lock is held (logTruth), or via a walBatch
+// flushed after release (see persist.go for the locking contract).
+func (s *System) storeTruth(req Request, route roadnet.Route, conf float64, byCrowd bool) truth.Entry {
 	if conf <= 0 {
 		conf = 0.5
 	}
 	if conf > 1 {
 		conf = 1
 	}
-	s.truth.Store(truth.Entry{
+	e := truth.Entry{
 		From: req.From, To: req.To,
 		Slot:       req.Depart.Slot(s.cfg.TruthSlots),
 		Route:      route,
 		Confidence: conf,
 		Crowd:      byCrowd,
 		StoredAt:   req.Depart,
-	})
+	}
+	s.truth.Store(e)
 	// A crowd-verified truth is new external knowledge about this OD+slot:
 	// drop the cached candidate set so the next evaluation rebuilds from
 	// scratch. Truths *derived* from the candidates themselves (agreement/
@@ -709,4 +747,5 @@ func (s *System) storeTruth(req Request, route roadnet.Route, conf float64, byCr
 	if byCrowd {
 		s.routes.Invalidate(s.cacheKey(req))
 	}
+	return e
 }

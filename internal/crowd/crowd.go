@@ -209,11 +209,26 @@ type RewardConfig struct {
 // DefaultRewardConfig pays 1 point per answer plus 2 for correct ones.
 func DefaultRewardConfig() RewardConfig { return RewardConfig{PerAnswer: 1, CorrectBonus: 2} }
 
+// RewardEvent reports one applied credit: the worker, the landmark
+// answered, whether the answer was judged correct, and the worker's state
+// *after* the credit (reward balance and the landmark's answer tally). The
+// serving core forwards these to the storage layer as worker-state WAL
+// events; carrying absolute post-state keeps their replay idempotent.
+type RewardEvent struct {
+	Worker   worker.ID
+	Landmark landmark.ID
+	Correct  bool
+	Balance  float64        // reward balance after the credit
+	Tally    worker.History // per-landmark history after the credit
+}
+
 // Reward credits the workers who contributed the consumed answers and
 // updates their per-landmark history, closing the loop that sharpens future
 // familiarity scores. Only the first `used` answers (the ones actually
-// consumed before early stop) are rewarded.
-func Reward(pool *worker.Pool, l landmark.ID, answers []Answer, used int, cfg RewardConfig) {
+// consumed before early stop) are rewarded. The returned events mirror the
+// mutations applied, in application order.
+func Reward(pool *worker.Pool, l landmark.ID, answers []Answer, used int, cfg RewardConfig) []RewardEvent {
+	events := make([]RewardEvent, 0, used)
 	for i := 0; i < used && i < len(answers); i++ {
 		a := answers[i]
 		w := pool.Get(a.Worker)
@@ -225,5 +240,10 @@ func Reward(pool *worker.Pool, l landmark.ID, answers []Answer, used int, cfg Re
 			w.Reward += cfg.CorrectBonus
 		}
 		w.RecordAnswer(l, a.Correct)
+		events = append(events, RewardEvent{
+			Worker: a.Worker, Landmark: l, Correct: a.Correct,
+			Balance: w.Reward, Tally: w.History[l],
+		})
 	}
+	return events
 }

@@ -24,6 +24,35 @@ func scaled(base int, scale float64) int {
 	return n
 }
 
+// Select resolves experiment IDs to their specs in registry order — every
+// experiment when ids is empty. Unknown IDs are an error.
+func Select(ids []string) ([]Spec, error) {
+	all := len(ids) == 0
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	var selected []Spec
+	for _, s := range Registry() {
+		// Checking `all`, not `len(want) == 0`: the latter becomes true once
+		// every requested ID is consumed, which used to sweep in every
+		// experiment after the last requested one.
+		if all || want[s.ID] {
+			selected = append(selected, s)
+			delete(want, s.ID)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("experiments: unknown experiment IDs %v", unknown)
+	}
+	return selected, nil
+}
+
 // Registry lists every experiment in DESIGN.md §4 order.
 func Registry() []Spec {
 	return []Spec{
@@ -83,24 +112,9 @@ func Find(id string) (Spec, bool) {
 // printing each table to w. IDs are run in registry order regardless of the
 // order given.
 func RunAll(w io.Writer, ids []string, scale float64) error {
-	want := map[string]bool{}
-	for _, id := range ids {
-		want[id] = true
-	}
-	var selected []Spec
-	for _, s := range Registry() {
-		if len(want) == 0 || want[s.ID] {
-			selected = append(selected, s)
-			delete(want, s.ID)
-		}
-	}
-	if len(want) > 0 {
-		var unknown []string
-		for id := range want {
-			unknown = append(unknown, id)
-		}
-		sort.Strings(unknown)
-		return fmt.Errorf("experiments: unknown experiment IDs %v", unknown)
+	selected, err := Select(ids)
+	if err != nil {
+		return err
 	}
 	for _, s := range selected {
 		fmt.Fprintf(w, "# %s — %s\n", s.ID, s.Title)

@@ -6,11 +6,12 @@
 //
 //	POST /v1/recommend         — process a route request through the full pipeline
 //	POST /v1/recommend/batch   — fan N requests through the concurrent core
-//	GET  /v1/health            — inventory, cache counters, per-endpoint metrics
+//	GET  /v1/health            — inventory, cache/store counters, per-endpoint metrics
 //	GET  /v1/truths            — the verified-truth database (paginated)
 //	GET  /v1/landmarks         — landmarks by significance (paginated)
 //	GET  /v1/workers/top       — top-k eligible workers for a landmark list
 //	GET  /v1/sources           — per-provider precision scoreboard
+//	POST /v1/admin/snapshot    — persist full state through the storage backend
 //
 // plus the asynchronous task lifecycle (see async.go). Errors on /v1 use a
 // uniform envelope {"error":{"code","message","request_id"}} with typed
@@ -35,6 +36,8 @@ import (
 	"crowdplanner/internal/landmark"
 	"crowdplanner/internal/roadnet"
 	"crowdplanner/internal/routing"
+	"crowdplanner/internal/store"
+	"crowdplanner/internal/truth"
 )
 
 // Server wraps a core.System with an HTTP API.
@@ -86,6 +89,7 @@ func New(sys *core.System, opts ...Option) *Server {
 	s.register("GET", "/sources", s.handleSources)
 	s.registerAsync()
 	s.registerV1Only("POST", "/recommend/batch", s.handleRecommendBatch)
+	s.registerV1Only("POST", "/admin/snapshot", s.handleAdminSnapshot)
 	// Unmatched /v1 requests get the envelope, not ServeMux's plain-text
 	// 404/405, so code-switching clients can parse every /v1 error. This
 	// prefix pattern also swallows the mux's method-mismatch handling, so
@@ -275,7 +279,15 @@ type HealthV1Response struct {
 	HealthResponse
 	OpenTasks int                        `json:"open_tasks"`
 	UptimeSec float64                    `json:"uptime_sec"`
+	Store     StoreInfo                  `json:"store"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// StoreInfo reports the storage backend's counters (see internal/store) plus
+// the append failures the serving path absorbed.
+type StoreInfo struct {
+	store.Stats
+	AppendErrors uint64 `json:"append_errors"`
 }
 
 // RouteCacheInfo reports the candidate route cache counters (all zero when
@@ -310,12 +322,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, v1 bool) {
 		return
 	}
 	endpoints, uptime := s.metrics.snapshot()
+	ss, appendErrs := s.sys.StoreStats()
 	writeJSON(w, http.StatusOK, HealthV1Response{
 		HealthResponse: base,
 		OpenTasks:      s.sys.OpenTasks(),
 		UptimeSec:      uptime,
+		Store:          StoreInfo{Stats: ss, AppendErrors: appendErrs},
 		Endpoints:      endpoints,
 	})
+}
+
+// SnapshotResponse is the POST /v1/admin/snapshot reply: the backend's
+// counters after the snapshot landed.
+type SnapshotResponse struct {
+	OK    bool      `json:"ok"`
+	Store StoreInfo `json:"store"`
+}
+
+// handleAdminSnapshot captures the system's full mutable state and persists
+// it through the storage backend (compacting its WAL). With the in-memory
+// backend this is a harmless no-op persistence-wise; with diskstore it is
+// the operator's checkpoint lever (cpserver also snapshots on graceful
+// shutdown).
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request, v1 bool) {
+	stats, err := s.sys.Snapshot()
+	if err != nil {
+		writeErr(w, r, v1, http.StatusInternalServerError, CodeInternal, "snapshot failed: %v", err)
+		return
+	}
+	_, appendErrs := s.sys.StoreStats()
+	writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: StoreInfo{Stats: stats, AppendErrors: appendErrs}})
 }
 
 // TruthInfo is one verified truth in GET /v1/truths.
@@ -329,16 +365,18 @@ type TruthInfo struct {
 }
 
 func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request, v1 bool) {
-	entries := s.sys.TruthDB().Entries()
-	out := make([]TruthInfo, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, TruthInfo{
-			From: e.From, To: e.To, Slot: e.Slot,
-			Confidence: e.Confidence, Crowd: e.Crowd, Nodes: len(e.Route.Nodes),
-		})
+	toInfo := func(entries []truth.Entry) []TruthInfo {
+		out := make([]TruthInfo, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, TruthInfo{
+				From: e.From, To: e.To, Slot: e.Slot,
+				Confidence: e.Confidence, Crowd: e.Crowd, Nodes: len(e.Route.Nodes),
+			})
+		}
+		return out
 	}
 	if !v1 {
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, toInfo(s.sys.TruthDB().Entries()))
 		return
 	}
 	limit, offset, err := pageParams(r)
@@ -346,7 +384,12 @@ func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request, v1 bool) {
 		writeErr(w, r, v1, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, paginate(out, limit, offset))
+	// Copy only the requested page out of the store, not the whole database
+	// per request.
+	entries, total := s.sys.TruthDB().EntriesRange(offset, limit)
+	writeJSON(w, http.StatusOK, Page[TruthInfo]{
+		Items: toInfo(entries), Total: total, Limit: limit, Offset: offset,
+	})
 }
 
 // LandmarkInfo is one landmark in GET /v1/landmarks.

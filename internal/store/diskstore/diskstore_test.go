@@ -1,0 +1,449 @@
+package diskstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crowdplanner/internal/store"
+)
+
+func testTruth(i int) store.TruthRecord {
+	return store.TruthRecord{
+		From: int32(i), To: int32(i + 100), Slot: int32(i % 24),
+		Nodes:      []int32{int32(i), int32(i + 1), int32(i + 2)},
+		Confidence: 0.5 + float64(i%5)/10, Crowd: i%2 == 0,
+		StoredAtMin: float64(480 + i),
+	}
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEmptyLoad(t *testing.T) {
+	s := open(t, t.TempDir())
+	defer s.Close()
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil {
+		t.Fatalf("fresh store loaded non-nil state: %+v", st)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.AppendTruth(testTruth(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := []store.WorkerEvent{
+		{Worker: 7, Landmark: 3, Correct: true, RewardBalance: 3, TallyCorrect: 1},
+		{Worker: 9, Landmark: 3, Correct: false, RewardBalance: 1, TallyWrong: 1},
+	}
+	if err := s.AppendWorkerEvents(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTaskOpen(store.TaskRecord{ID: 5, From: 1, To: 2, DepartMin: 510, Assigned: []int32{7, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTaskDecision(5, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTaskOpen(store.TaskRecord{ID: 6, From: 3, To: 4, DepartMin: 520, Assigned: []int32{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTaskClose(6); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("loaded nil state")
+	}
+	if len(st.Truths) != 3 || !reflect.DeepEqual(st.Truths[1], testTruth(1)) {
+		t.Fatalf("truths = %+v", st.Truths)
+	}
+	// Worker events fold into absolute worker states on load.
+	if len(st.Workers) != 2 {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	if st.Workers[0].ID != 7 || st.Workers[0].Reward != 3 ||
+		!reflect.DeepEqual(st.Workers[0].History, []store.HistoryEntry{{Landmark: 3, Correct: 1}}) {
+		t.Fatalf("worker 7 = %+v", st.Workers[0])
+	}
+	if len(st.OpenTasks) != 1 || st.OpenTasks[0].ID != 5 {
+		t.Fatalf("open tasks = %+v", st.OpenTasks)
+	}
+	if got := st.OpenTasks[0].Decisions; len(got) != 1 || !got[0] {
+		t.Fatalf("decisions = %v", got)
+	}
+	if st.NextTaskID != 6 {
+		t.Fatalf("next task id = %d, want 6", st.NextTaskID)
+	}
+	if tr := s2.Stats().Truncated; tr {
+		t.Fatal("clean WAL reported truncated")
+	}
+}
+
+// TestTruncatedWALTail simulates a crash mid-append: the last record is cut
+// short at every possible byte boundary, and the valid prefix must load.
+func TestTruncatedWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.AppendTruth(testTruth(0)); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterOne, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTruth(testTruth(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	whole, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int(sizeAfterOne.Size()) + 1; cut < len(whole); cut++ {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, walName), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := open(t, dir2)
+		st, err := s2.Load()
+		if err != nil {
+			t.Fatalf("cut=%d: load: %v", cut, err)
+		}
+		if len(st.Truths) != 1 || !reflect.DeepEqual(st.Truths[0], testTruth(0)) {
+			t.Fatalf("cut=%d: truths = %+v", cut, st.Truths)
+		}
+		if !s2.Stats().Truncated {
+			t.Fatalf("cut=%d: torn tail not reported", cut)
+		}
+		// The recovered store must keep accepting appends.
+		if err := s2.AppendTruth(testTruth(9)); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		s2.Close()
+	}
+}
+
+// TestCorruptWALRecordCRC flips a payload bit in the final record: the CRC
+// must reject it and recovery keeps the prefix.
+func TestCorruptWALRecordCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.AppendTruth(testTruth(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTruth(testTruth(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xFF // inside the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Truths) != 1 {
+		t.Fatalf("truths = %+v, want the intact prefix only", st.Truths)
+	}
+	if !s2.Stats().Truncated {
+		t.Fatal("corrupt tail not reported as truncated")
+	}
+}
+
+// TestCorruptSnapshotHeader: a damaged snapshot must fail the load loudly,
+// not silently boot empty.
+func TestCorruptSnapshotHeader(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Snapshot(func() *store.State {
+		return &store.State{Truths: []store.TruthRecord{testTruth(0)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bad magic":      func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"bad version":    func(b []byte) []byte { c := append([]byte(nil), b...); c[6], c[7] = 0xFF, 0xFF; return c },
+		"short header":   func(b []byte) []byte { return b[:4] },
+		"payload damage": func(b []byte) []byte { c := append([]byte(nil), b...); c[20] ^= 0xFF; return c },
+	} {
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := open(t, dir)
+		if _, err := s2.Load(); err == nil {
+			t.Errorf("%s: load succeeded, want error", name)
+		}
+		s2.Close()
+	}
+}
+
+// TestReplayAfterCompaction: snapshot (compacting the WAL), append more, and
+// verify the load sees snapshot state plus the post-snapshot tail.
+func TestReplayAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 4; i++ {
+		if err := s.AppendTruth(testTruth(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(func() *store.State { return st }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.WALRecords != 0 || got.Snapshots != 1 {
+		t.Fatalf("post-snapshot stats = %+v", got)
+	}
+	// Appends after compaction land in the fresh WAL.
+	if err := s.AppendTruth(testTruth(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWorkerEvents([]store.WorkerEvent{{Worker: 1, Landmark: 2, Correct: true, RewardBalance: 3, TallyCorrect: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	st2, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Truths) != 5 {
+		t.Fatalf("truths after compaction+append = %d, want 5", len(st2.Truths))
+	}
+	if !reflect.DeepEqual(st2.Truths[4], testTruth(10)) {
+		t.Fatalf("tail truth = %+v", st2.Truths[4])
+	}
+	if len(st2.Workers) != 1 || st2.Workers[0].Reward != 3 {
+		t.Fatalf("workers = %+v", st2.Workers)
+	}
+}
+
+// TestSnapshotDeterminism: a snapshot→restore round trip must re-snapshot to
+// byte-identical files, even when worker state arrives in scrambled order
+// (the map-iteration hazard the sorted serialization exists to kill).
+func TestSnapshotDeterminism(t *testing.T) {
+	mkState := func(workerOrder []int32) *store.State {
+		st := &store.State{NextTaskID: 12}
+		for i := 0; i < 5; i++ {
+			st.Truths = append(st.Truths, testTruth(i))
+		}
+		for _, id := range workerOrder {
+			st.Workers = append(st.Workers, store.WorkerState{
+				ID: id, Reward: float64(id) * 1.5,
+				History: []store.HistoryEntry{
+					{Landmark: id + 1, Correct: 2, Wrong: 1},
+					{Landmark: id, Correct: 1, Wrong: 0},
+				},
+			})
+		}
+		st.OpenTasks = []store.TaskRecord{
+			{ID: 11, From: 2, To: 9, DepartMin: 500, Assigned: []int32{4, 2}, Decisions: []bool{true, false}},
+			{ID: 3, From: 1, To: 5, DepartMin: 480, Assigned: []int32{1}},
+		}
+		return st
+	}
+
+	write := func(st *store.State) []byte {
+		dir := t.TempDir()
+		s := open(t, dir)
+		if err := s.Snapshot(func() *store.State { return st }); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	a := write(mkState([]int32{3, 1, 4, 2}))
+	b := write(mkState([]int32{4, 2, 1, 3}))
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshots of equivalent states differ byte-wise")
+	}
+
+	// Round trip: load the snapshot back and re-snapshot.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir)
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(func() *store.State { return st }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	c, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("snapshot→restore→snapshot is not byte-identical")
+	}
+}
+
+// TestFoldOnSnapshot: unfolded worker events passed to Snapshot overwrite
+// the absolute worker states (events carry post-state; later wins).
+func TestFoldOnSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	st := &store.State{
+		Workers: []store.WorkerState{{ID: 2, Reward: 1, History: []store.HistoryEntry{{Landmark: 5, Correct: 1}}}},
+		WorkerEvents: []store.WorkerEvent{
+			{Worker: 2, Landmark: 5, Correct: true, RewardBalance: 4, TallyCorrect: 2},
+			{Worker: 8, Landmark: 1, Correct: false, RewardBalance: 1, TallyWrong: 1},
+		},
+	}
+	if err := s.Snapshot(func() *store.State { return st }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	got, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []store.WorkerState{
+		{ID: 2, Reward: 4, History: []store.HistoryEntry{{Landmark: 5, Correct: 2}}},
+		{ID: 8, Reward: 1, History: []store.HistoryEntry{{Landmark: 1, Wrong: 1}}},
+	}
+	if !reflect.DeepEqual(got.Workers, want) {
+		t.Fatalf("workers = %+v, want %+v", got.Workers, want)
+	}
+}
+
+// TestSnapshotCaptureBarrier: a record appended while a snapshot is being
+// taken must never vanish — it either folds into the snapshot or lands in
+// the fresh WAL.
+func TestSnapshotCaptureBarrier(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.AppendTruth(testTruth(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Start an append from inside the capture callback: it must block until
+	// the compaction finished and then land in the new WAL.
+	appended := make(chan error, 1)
+	err := s.Snapshot(func() *store.State {
+		go func() { appended <- s.AppendTruth(testTruth(1)) }()
+		return &store.State{Truths: []store.TruthRecord{testTruth(0)}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-appended; err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Truths) != 2 {
+		t.Fatalf("truths after racing snapshot = %d, want 2 (none lost)", len(st.Truths))
+	}
+}
+
+// ---- storage-path benchmarks ----
+
+func benchAppend(b *testing.B, sync bool) {
+	var opts []Option
+	if !sync {
+		opts = append(opts, WithoutSync())
+	}
+	s, err := Open(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := testTruth(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AppendTruth(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendFsync(b *testing.B)   { benchAppend(b, true) }
+func BenchmarkWALAppendNoFsync(b *testing.B) { benchAppend(b, false) }
+
+func BenchmarkLoad10kTruths(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, WithoutSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := s.AppendTruth(testTruth(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := s.Load()
+		if err != nil || len(st.Truths) != 10_000 {
+			b.Fatalf("load: %v (%d truths)", err, len(st.Truths))
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,206 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+
+	"crowdplanner/internal/store"
+)
+
+// Primitive little-endian append helpers. All on-disk integers are fixed
+// width: the format favours auditability over compactness (truth routes
+// dominate the bytes either way).
+
+func putI32(b []byte, v int32) []byte  { return binary.LittleEndian.AppendUint32(b, uint32(v)) }
+func putI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// reader decodes the primitive sequence, latching the first error; callers
+// check r.err once after a batch of reads.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+var errShort = errors.New("short payload")
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = errShort
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i64() int64 {
+	if b := r.take(8); b != nil {
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+func (r *reader) f64() float64 {
+	if b := r.take(8); b != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+func (r *reader) bool() bool {
+	if b := r.take(1); b != nil {
+		return b[0] != 0
+	}
+	return false
+}
+
+// encodeTruth appends a TruthRecord's wire form to b.
+func encodeTruth(b []byte, t store.TruthRecord) []byte {
+	b = putI32(b, t.From)
+	b = putI32(b, t.To)
+	b = putI32(b, t.Slot)
+	b = putF64(b, t.Confidence)
+	b = putBool(b, t.Crowd)
+	b = putF64(b, t.StoredAtMin)
+	b = putU32(b, uint32(len(t.Nodes)))
+	for _, n := range t.Nodes {
+		b = putI32(b, n)
+	}
+	return b
+}
+
+func decodeTruth(r *reader) store.TruthRecord {
+	t := store.TruthRecord{
+		From: r.i32(), To: r.i32(), Slot: r.i32(),
+		Confidence: r.f64(), Crowd: r.bool(), StoredAtMin: r.f64(),
+	}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		t.Nodes = append(t.Nodes, r.i32())
+	}
+	return t
+}
+
+// encodeTask appends a TaskRecord's wire form to b.
+func encodeTask(b []byte, t store.TaskRecord) []byte {
+	b = putI64(b, t.ID)
+	b = putI32(b, t.From)
+	b = putI32(b, t.To)
+	b = putF64(b, t.DepartMin)
+	b = putF64(b, t.DeadlineMin)
+	b = putU32(b, uint32(len(t.Assigned)))
+	for _, w := range t.Assigned {
+		b = putI32(b, w)
+	}
+	b = putU32(b, uint32(len(t.Decisions)))
+	for _, d := range t.Decisions {
+		b = putBool(b, d)
+	}
+	return b
+}
+
+func decodeTask(r *reader) store.TaskRecord {
+	t := store.TaskRecord{
+		ID: r.i64(), From: r.i32(), To: r.i32(),
+		DepartMin: r.f64(), DeadlineMin: r.f64(),
+	}
+	na := int(r.u32())
+	for i := 0; i < na && r.err == nil; i++ {
+		t.Assigned = append(t.Assigned, r.i32())
+	}
+	nd := int(r.u32())
+	for i := 0; i < nd && r.err == nil; i++ {
+		t.Decisions = append(t.Decisions, r.bool())
+	}
+	return t
+}
+
+// encodeSnapshot serializes the (already folded and sorted) state payload.
+func encodeSnapshot(st *store.State) []byte {
+	var b []byte
+	b = putI64(b, st.NextTaskID)
+	b = putU32(b, uint32(len(st.Truths)))
+	for _, t := range st.Truths {
+		b = encodeTruth(b, t)
+	}
+	b = putU32(b, uint32(len(st.Workers)))
+	for _, w := range st.Workers {
+		b = putI32(b, w.ID)
+		b = putF64(b, w.Reward)
+		b = putU32(b, uint32(len(w.History)))
+		for _, h := range w.History {
+			b = putI32(b, h.Landmark)
+			b = putI32(b, h.Correct)
+			b = putI32(b, h.Wrong)
+		}
+	}
+	b = putU32(b, uint32(len(st.OpenTasks)))
+	for _, t := range st.OpenTasks {
+		b = encodeTask(b, t)
+	}
+	return b
+}
+
+// decodeSnapshot validates header + CRC and fills st/open.
+func decodeSnapshot(data []byte, st *store.State, open map[int64]*store.TaskRecord) error {
+	if err := checkHeader(data, snapshotMagic, "snapshot"); err != nil {
+		return err
+	}
+	if len(data) < 12 {
+		return errors.New("diskstore: snapshot: missing checksum")
+	}
+	payload := data[8 : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return errors.New("diskstore: snapshot: checksum mismatch")
+	}
+	r := &reader{buf: payload}
+	st.NextTaskID = r.i64()
+	nt := int(r.u32())
+	for i := 0; i < nt && r.err == nil; i++ {
+		st.Truths = append(st.Truths, decodeTruth(r))
+	}
+	nw := int(r.u32())
+	for i := 0; i < nw && r.err == nil; i++ {
+		w := store.WorkerState{ID: r.i32(), Reward: r.f64()}
+		nh := int(r.u32())
+		for j := 0; j < nh && r.err == nil; j++ {
+			w.History = append(w.History, store.HistoryEntry{
+				Landmark: r.i32(), Correct: r.i32(), Wrong: r.i32(),
+			})
+		}
+		st.Workers = append(st.Workers, w)
+	}
+	nk := int(r.u32())
+	for i := 0; i < nk && r.err == nil; i++ {
+		t := decodeTask(r)
+		if r.err == nil {
+			open[t.ID] = &t
+		}
+	}
+	if r.err != nil {
+		return errors.New("diskstore: snapshot: truncated payload")
+	}
+	return nil
+}

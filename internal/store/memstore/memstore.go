@@ -1,0 +1,214 @@
+// Package memstore is the process-local storage backend: it implements the
+// full store.Store contract over in-memory structures. Because Load replays
+// its in-memory snapshot and log exactly like diskstore replays its files,
+// it is the reference implementation of the replay semantics and the
+// zero-configuration choice for tests of storage-aware code. It retains
+// every appended record until the next snapshot, so it is NOT the default
+// for systems without persistence — that is store.Discard, which retains
+// nothing.
+package memstore
+
+import (
+	"errors"
+	"sync"
+
+	"crowdplanner/internal/store"
+)
+
+// Store is an in-memory store.Store. It is safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	closed bool
+
+	snap *store.State // last snapshot (owned), nil before the first
+
+	// The in-memory "WAL": everything appended since the last snapshot.
+	truths    []store.TruthRecord
+	events    []store.WorkerEvent
+	taskOpen  []store.TaskRecord
+	taskDecis []taskDecision
+	taskClose []int64
+
+	stats store.Stats
+}
+
+type taskDecision struct {
+	id    int64
+	index int
+	yes   bool
+}
+
+// New returns an empty in-memory store.
+func New() *Store {
+	return &Store{stats: store.Stats{Backend: "mem"}}
+}
+
+var errClosed = errors.New("memstore: store is closed")
+
+// AppendTruth implements store.TruthLog.
+func (s *Store) AppendTruth(r store.TruthRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	r.Nodes = append([]int32(nil), r.Nodes...)
+	s.truths = append(s.truths, r)
+	s.stats.TruthAppends++
+	s.stats.WALRecords++
+	return nil
+}
+
+// AppendWorkerEvents implements store.WorkerLog.
+func (s *Store) AppendWorkerEvents(evs []store.WorkerEvent) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.events = append(s.events, evs...)
+	s.stats.WorkerEvents += uint64(len(evs))
+	s.stats.WALRecords++
+	return nil
+}
+
+// AppendTaskOpen implements store.TaskLog.
+func (s *Store) AppendTaskOpen(r store.TaskRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	r.Assigned = append([]int32(nil), r.Assigned...)
+	r.Decisions = append([]bool(nil), r.Decisions...)
+	s.taskOpen = append(s.taskOpen, r)
+	s.stats.TaskEvents++
+	s.stats.WALRecords++
+	return nil
+}
+
+// AppendTaskDecision implements store.TaskLog.
+func (s *Store) AppendTaskDecision(id int64, index int, yes bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.taskDecis = append(s.taskDecis, taskDecision{id, index, yes})
+	s.stats.TaskEvents++
+	s.stats.WALRecords++
+	return nil
+}
+
+// AppendTaskClose implements store.TaskLog.
+func (s *Store) AppendTaskClose(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.taskClose = append(s.taskClose, id)
+	s.stats.TaskEvents++
+	s.stats.WALRecords++
+	return nil
+}
+
+// Load implements store.Store: it replays the last snapshot plus everything
+// appended since into a fresh State.
+func (s *Store) Load() (*store.State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if s.snap == nil && s.stats.WALRecords == 0 {
+		return nil, nil
+	}
+	st := &store.State{}
+	open := map[int64]*store.TaskRecord{}
+	if s.snap != nil {
+		st.NextTaskID = s.snap.NextTaskID
+		st.Truths = append(st.Truths, s.snap.Truths...)
+		st.Workers = cloneWorkers(s.snap.Workers)
+		for _, t := range s.snap.OpenTasks {
+			tc := cloneTask(t)
+			open[t.ID] = &tc
+		}
+	}
+	st.Truths = append(st.Truths, s.truths...)
+	st.WorkerEvents = append(st.WorkerEvents, s.events...)
+	for _, t := range s.taskOpen {
+		tc := cloneTask(t)
+		open[t.ID] = &tc
+		if t.ID >= st.NextTaskID {
+			st.NextTaskID = t.ID
+		}
+	}
+	for _, d := range s.taskDecis {
+		if t := open[d.id]; t != nil {
+			t.Decisions = store.SetDecision(t.Decisions, d.index, d.yes)
+		}
+	}
+	for _, id := range s.taskClose {
+		delete(open, id)
+	}
+	for _, t := range open {
+		st.OpenTasks = append(st.OpenTasks, *t)
+	}
+	st.FoldEvents() // deterministic ordering (events list stays empty for mem)
+	s.stats.LoadedTruths = len(st.Truths)
+	s.stats.LoadedWorkers = len(st.Workers)
+	s.stats.LoadedTasks = len(st.OpenTasks)
+	return st, nil
+}
+
+// Snapshot implements store.Store: the state captured under the append
+// mutex replaces the snapshot and the in-memory log is compacted away.
+func (s *Store) Snapshot(capture func() *store.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	st := capture()
+	st.FoldEvents()
+	s.snap = st
+	s.truths, s.events = nil, nil
+	s.taskOpen, s.taskDecis, s.taskClose = nil, nil, nil
+	s.stats.WALRecords = 0
+	s.stats.Snapshots++
+	return nil
+}
+
+// Stats implements store.Store.
+func (s *Store) Stats() store.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close implements store.Store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func cloneWorkers(ws []store.WorkerState) []store.WorkerState {
+	out := make([]store.WorkerState, len(ws))
+	for i, w := range ws {
+		w.History = append([]store.HistoryEntry(nil), w.History...)
+		out[i] = w
+	}
+	return out
+}
+
+func cloneTask(t store.TaskRecord) store.TaskRecord {
+	t.Assigned = append([]int32(nil), t.Assigned...)
+	t.Decisions = append([]bool(nil), t.Decisions...)
+	return t
+}

@@ -1,0 +1,73 @@
+package memstore
+
+import (
+	"reflect"
+	"testing"
+
+	"crowdplanner/internal/store"
+)
+
+// The in-memory backend must honour the same replay contract as diskstore:
+// snapshot + appended log fold into one State on Load.
+func TestReplayContract(t *testing.T) {
+	s := New()
+	if st, err := s.Load(); err != nil || st != nil {
+		t.Fatalf("fresh store: state=%v err=%v", st, err)
+	}
+
+	tr := store.TruthRecord{From: 1, To: 2, Slot: 8, Nodes: []int32{1, 5, 2}, Confidence: 0.9, Crowd: true}
+	if err := s.AppendTruth(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTaskOpen(store.TaskRecord{ID: 4, From: 1, To: 9, Assigned: []int32{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTaskDecision(4, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWorkerEvents([]store.WorkerEvent{{Worker: 2, Landmark: 7, Correct: true, RewardBalance: 3, TallyCorrect: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Truths) != 1 || !reflect.DeepEqual(st.Truths[0], tr) {
+		t.Fatalf("truths = %+v", st.Truths)
+	}
+	if len(st.OpenTasks) != 1 || !reflect.DeepEqual(st.OpenTasks[0].Decisions, []bool{false}) {
+		t.Fatalf("open tasks = %+v", st.OpenTasks)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Reward != 3 {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+
+	// Snapshot compacts; state persists across the compaction.
+	if err := s.Snapshot(func() *store.State { return st }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.WALRecords != 0 || got.Snapshots != 1 {
+		t.Fatalf("stats after snapshot = %+v", got)
+	}
+	if err := s.AppendTaskClose(4); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Truths) != 1 || len(st2.OpenTasks) != 0 {
+		t.Fatalf("post-compaction state = %+v", st2)
+	}
+	if st2.NextTaskID != 4 {
+		t.Fatalf("next task id = %d, want 4", st2.NextTaskID)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTruth(tr); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}

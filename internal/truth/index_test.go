@@ -1,0 +1,183 @@
+package truth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+)
+
+// seedCity fills a database with n truths over a generated city, optionally
+// index-bound, always deterministically.
+func seedCity(tb testing.TB, db *DB, g *roadnet.Graph, n int) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	nn := roadnet.NodeID(g.NumNodes())
+	for i := 0; i < n; i++ {
+		from := roadnet.NodeID(rng.Intn(int(nn)))
+		to := roadnet.NodeID(rng.Intn(int(nn)))
+		if from == to {
+			to = (to + 1) % nn
+		}
+		db.Store(Entry{
+			From: from, To: to, Slot: rng.Intn(24),
+			Route:      roadnet.NewRoute(from, to),
+			Confidence: 0.5 + rng.Float64()/2,
+			Crowd:      i%3 == 0,
+		})
+	}
+}
+
+// TestIndexedNearMatchesLinear is the correctness anchor for the spatial
+// index: for many random queries the indexed Near must return exactly what
+// the linear scan returns, in the same order.
+func TestIndexedNearMatchesLinear(t *testing.T) {
+	g := roadnet.Generate(roadnet.DefaultGenConfig())
+	linear := NewDB(24)
+	indexed := NewDB(24)
+	indexed.EnableSpatialIndex(g, 600)
+	seedCity(t, linear, g, 3000)
+	seedCity(t, indexed, g, 3000)
+
+	rng := rand.New(rand.NewSource(9))
+	nn := g.NumNodes()
+	for q := 0; q < 200; q++ {
+		from := roadnet.NodeID(rng.Intn(nn))
+		to := roadnet.NodeID(rng.Intn(nn))
+		tm := routing.At(rng.Intn(7), rng.Intn(24), 0)
+		radius := []float64{150, 600, 2000}[q%3]
+		want := linear.Near(g, from, to, tm, radius, 1)
+		got := indexed.Near(g, from, to, tm, radius, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d (from=%d to=%d r=%.0f): indexed %d entries, linear %d",
+				q, from, to, radius, len(got), len(want))
+		}
+	}
+}
+
+// TestIndexBindsExistingEntries: EnableSpatialIndex after a bulk load (the
+// boot-time restore order) must index what is already stored.
+func TestIndexBindsExistingEntries(t *testing.T) {
+	g := roadnet.Generate(roadnet.DefaultGenConfig())
+	linear := NewDB(24)
+	late := NewDB(24)
+	seedCity(t, linear, g, 500)
+	seedCity(t, late, g, 500)
+	late.EnableSpatialIndex(g, 600)
+
+	tm := routing.At(0, 9, 0)
+	want := linear.Near(g, 0, roadnet.NodeID(g.NumNodes()-1), tm, 1500, 2)
+	got := late.Near(g, 0, roadnet.NodeID(g.NumNodes()-1), tm, 1500, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("late-bound index: %d entries, linear %d", len(got), len(want))
+	}
+}
+
+// TestIndexedConfidenceMatchesLinear: Confidence rides on Near and must be
+// bit-identical with and without the index.
+func TestIndexedConfidenceMatchesLinear(t *testing.T) {
+	g := roadnet.Generate(roadnet.DefaultGenConfig())
+	linear := NewDB(24)
+	indexed := NewDB(24)
+	indexed.EnableSpatialIndex(g, 600)
+	seedCity(t, linear, g, 2000)
+	seedCity(t, indexed, g, 2000)
+
+	rng := rand.New(rand.NewSource(11))
+	nn := roadnet.NodeID(g.NumNodes())
+	for q := 0; q < 50; q++ {
+		from := roadnet.NodeID(rng.Intn(int(nn)))
+		to := roadnet.NodeID(rng.Intn(int(nn)))
+		if from == to {
+			continue
+		}
+		cand := roadnet.NewRoute(from, to)
+		tm := routing.At(rng.Intn(7), rng.Intn(24), 0)
+		want := linear.Confidence(g, cand, tm, 600, 1)
+		got := indexed.Confidence(g, cand, tm, 600, 1)
+		if got != want {
+			t.Fatalf("query %d: confidence %v != %v", q, got, want)
+		}
+	}
+}
+
+func TestEntriesRange(t *testing.T) {
+	db := NewDB(24)
+	g := corridor()
+	_ = g
+	for i := 0; i < 10; i++ {
+		db.Store(Entry{From: 0, To: 3, Slot: i, Route: top(), Confidence: 0.9})
+	}
+	page, total := db.EntriesRange(4, 3)
+	if total != 10 || len(page) != 3 {
+		t.Fatalf("range(4,3): %d entries, total %d", len(page), total)
+	}
+	if page[0].Slot != 4 || page[2].Slot != 6 {
+		t.Fatalf("page slots = %d..%d, want 4..6", page[0].Slot, page[2].Slot)
+	}
+	if page, total := db.EntriesRange(20, 5); total != 10 || page == nil || len(page) != 0 {
+		t.Fatalf("past-the-end range = %v (total %d), want empty non-nil", page, total)
+	}
+	if page, _ := db.EntriesRange(8, 0); len(page) != 2 {
+		t.Fatalf("limit<=0 should return the tail, got %d", len(page))
+	}
+	if page, _ := db.EntriesRange(-2, 2); len(page) != 2 || page[0].Slot != 0 {
+		t.Fatalf("negative offset should clamp to 0, got %+v", page)
+	}
+}
+
+// ---- acceptance benchmarks: grid index vs linear scan at 100k truths ----
+
+func seededDB(b *testing.B, g *roadnet.Graph, indexed bool) *DB {
+	b.Helper()
+	db := NewDB(24)
+	if indexed {
+		db.EnableSpatialIndex(g, 600)
+	}
+	seedCity(b, db, g, 100_000)
+	return db
+}
+
+var benchGraph *roadnet.Graph
+
+func benchCity(b *testing.B) *roadnet.Graph {
+	b.Helper()
+	if benchGraph == nil {
+		benchGraph = roadnet.Generate(roadnet.DefaultGenConfig())
+	}
+	return benchGraph
+}
+
+func benchNear(b *testing.B, indexed bool) {
+	g := benchCity(b)
+	db := seededDB(b, g, indexed)
+	nn := roadnet.NodeID(g.NumNodes())
+	tm := routing.At(0, 8, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := roadnet.NodeID(i) % nn
+		to := (from + nn/2) % nn
+		_ = db.Near(g, from, to, tm, 600, 1)
+	}
+}
+
+func BenchmarkTruthNear100k(b *testing.B)       { benchNear(b, true) }
+func BenchmarkTruthNearLinear100k(b *testing.B) { benchNear(b, false) }
+
+func benchConfidence(b *testing.B, indexed bool) {
+	g := benchCity(b)
+	db := seededDB(b, g, indexed)
+	nn := roadnet.NodeID(g.NumNodes())
+	tm := routing.At(0, 8, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := roadnet.NodeID(i) % nn
+		to := (from + nn/3) % nn
+		_ = db.Confidence(g, roadnet.NewRoute(from, to), tm, 600, 1)
+	}
+}
+
+func BenchmarkConfidence100k(b *testing.B)       { benchConfidence(b, true) }
+func BenchmarkConfidenceLinear100k(b *testing.B) { benchConfidence(b, false) }

@@ -33,15 +33,30 @@ type DB struct {
 	mu      sync.RWMutex
 	slots   int
 	entries []Entry
-	// byOD accelerates exact-node lookups; spatial matching scans (the
-	// store is small relative to the request stream).
+	// byOD accelerates exact-node lookups.
 	byOD map[odSlot][]int
+	// Spatial index for Near/Confidence: entry indices bucketed by the grid
+	// cell of the truth's *from* endpoint (see EnableSpatialIndex). Both
+	// endpoints must fall within the query radius, so indexing one endpoint
+	// already bounds the scan to nearby buckets; the to-endpoint filter runs
+	// on the survivors. Nil until bound to a graph — queries then fall back
+	// to the full linear scan.
+	locate  func(roadnet.NodeID) geo.Point
+	cell    float64
+	buckets map[cellKey][]int
 }
 
 type odSlot struct {
 	from, to roadnet.NodeID
 	slot     int
 }
+
+// cellKey addresses one grid cell by integer coordinates — so the index
+// needs no bounding box up front (truth endpoints follow the road network,
+// which the DB does not know at construction time) — plus the time slot:
+// Near always filters by slot tolerance, so folding the slot into the bucket
+// key keeps slot-mismatched truths out of the candidate set entirely.
+type cellKey struct{ cx, cy, slot int32 }
 
 // NewDB creates a truth database quantizing departure times into the given
 // number of daily slots (the paper's "time tag"). 24 gives hourly tags.
@@ -50,6 +65,38 @@ func NewDB(slots int) *DB {
 		slots = 24
 	}
 	return &DB{slots: slots, byOD: make(map[odSlot][]int)}
+}
+
+// EnableSpatialIndex binds the DB to the graph's node positions and buckets
+// truths by the grid cell of their from-endpoint, turning Near (and with it
+// Confidence) from a full-store scan into a lookup that touches only the
+// buckets overlapping the query radius. cell is the bucket edge length in
+// meters; pass the radius the system queries with (Config.TruthRadius) so a
+// query touches ~9 buckets. Non-positive cell defaults to 500m. Existing
+// entries are re-indexed, so the call may follow a bulk restore.
+func (db *DB) EnableSpatialIndex(g *roadnet.Graph, cell float64) {
+	if cell <= 0 {
+		cell = 500
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.locate = func(id roadnet.NodeID) geo.Point { return g.Node(id).Pt }
+	db.cell = cell
+	db.buckets = make(map[cellKey][]int)
+	for i, e := range db.entries {
+		k := db.cellOf(db.locate(e.From), e.Slot)
+		db.buckets[k] = append(db.buckets[k], i)
+	}
+}
+
+// cellOf maps a point and slot to the bucket key (floor division,
+// negative-safe).
+func (db *DB) cellOf(p geo.Point, slot int) cellKey {
+	return cellKey{
+		cx:   int32(math.Floor(p.X / db.cell)),
+		cy:   int32(math.Floor(p.Y / db.cell)),
+		slot: int32(slot),
+	}
 }
 
 // Slots returns the configured slot count.
@@ -73,11 +120,17 @@ func (db *DB) Store(e Entry) {
 	e.Slot = ((e.Slot % db.slots) + db.slots) % db.slots
 	k := odSlot{e.From, e.To, e.Slot}
 	if idxs := db.byOD[k]; len(idxs) > 0 {
+		// Replacement keeps the entry index and the from-endpoint, so the
+		// spatial bucket needs no update.
 		db.entries[idxs[len(idxs)-1]] = e
 		return
 	}
 	db.entries = append(db.entries, e)
 	db.byOD[k] = append(db.byOD[k], len(db.entries)-1)
+	if db.buckets != nil {
+		ck := db.cellOf(db.locate(e.From), e.Slot)
+		db.buckets[ck] = append(db.buckets[ck], len(db.entries)-1)
+	}
 }
 
 // Lookup returns the most recently stored truth for the exact OD pair and
@@ -96,7 +149,9 @@ func (db *DB) Lookup(from, to roadnet.NodeID, t routing.SimTime) (Entry, bool) {
 
 // Near returns truths whose endpoints are within radius meters of the
 // requested endpoints and whose slot is within slotTol slots (circularly) of
-// t's slot, ordered by decreasing endpoint proximity.
+// t's slot, ordered by decreasing endpoint proximity. With the spatial index
+// bound (EnableSpatialIndex) only the buckets overlapping the query radius
+// are scanned; otherwise the whole store is.
 func (db *DB) Near(g *roadnet.Graph, from, to roadnet.NodeID, t routing.SimTime, radius float64, slotTol int) []Entry {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -104,27 +159,76 @@ func (db *DB) Near(g *roadnet.Graph, from, to roadnet.NodeID, t routing.SimTime,
 	fp := g.Node(from).Pt
 	tp := g.Node(to).Pt
 	type scored struct {
-		e Entry
-		d float64
+		idx int
+		d   float64
 	}
 	var out []scored
-	for _, e := range db.entries {
+	score := func(i int) {
+		e := &db.entries[i]
 		if slotDist(e.Slot, slot, db.slots) > slotTol {
-			continue
+			return
 		}
 		df := geo.Dist(g.Node(e.From).Pt, fp)
 		dt := geo.Dist(g.Node(e.To).Pt, tp)
 		if df > radius || dt > radius {
-			continue
+			return
 		}
-		out = append(out, scored{e: e, d: df + dt})
+		out = append(out, scored{idx: i, d: df + dt})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].d < out[j].d })
+	if db.buckets != nil && radius >= 0 {
+		// Only the buckets covering [fp±radius] in the slot window can hold
+		// matches. Visit order doesn't matter: the final sort breaks distance
+		// ties by entry index, which is exactly the order the stable sort
+		// over a full scan yields.
+		lo := db.cellOf(geo.Point{X: fp.X - radius, Y: fp.Y - radius}, 0)
+		hi := db.cellOf(geo.Point{X: fp.X + radius, Y: fp.Y + radius}, 0)
+		for _, sl := range slotWindow(slot, slotTol, db.slots) {
+			for cy := lo.cy; cy <= hi.cy; cy++ {
+				for cx := lo.cx; cx <= hi.cx; cx++ {
+					for _, i := range db.buckets[cellKey{cx, cy, sl}] {
+						score(i)
+					}
+				}
+			}
+		}
+	} else {
+		for i := range db.entries {
+			score(i)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].d != out[j].d {
+			return out[i].d < out[j].d
+		}
+		return out[i].idx < out[j].idx
+	})
 	res := make([]Entry, len(out))
 	for i, s := range out {
-		res[i] = s.e
+		res[i] = db.entries[s.idx]
 	}
 	return res
+}
+
+// slotWindow lists the distinct slots within tol circular steps of slot, in
+// ascending order (the bucket scan's visit order is immaterial, but a fixed
+// order keeps iteration deterministic).
+func slotWindow(slot, tol, slots int) []int32 {
+	if tol < 0 {
+		tol = 0
+	}
+	if 2*tol+1 >= slots {
+		out := make([]int32, slots)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	out := make([]int32, 0, 2*tol+1)
+	for ds := -tol; ds <= tol; ds++ {
+		out = append(out, int32(((slot+ds)%slots+slots)%slots))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // slotDist is the circular distance between two slots.
@@ -177,4 +281,26 @@ func (db *DB) Entries() []Entry {
 	out := make([]Entry, len(db.entries))
 	copy(out, db.entries)
 	return out
+}
+
+// EntriesRange copies the entries in [offset, offset+limit), oldest first,
+// and returns the total count — the pagination accessor for GET /v1/truths,
+// which must not deep-copy the whole store per page. Offsets beyond the end
+// yield an empty (non-nil) slice; a non-positive limit yields everything
+// from offset.
+func (db *DB) EntriesRange(offset, limit int) ([]Entry, int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := len(db.entries)
+	if offset < 0 {
+		offset = 0
+	}
+	lo := min(offset, total)
+	hi := total
+	if limit > 0 {
+		hi = min(lo+limit, total)
+	}
+	out := make([]Entry, hi-lo)
+	copy(out, db.entries[lo:hi])
+	return out, total
 }
