@@ -294,6 +294,46 @@ func (c *Client) RecommendBatch(ctx context.Context, items []RecommendRequest) (
 	return &out, nil
 }
 
+// ---- Trajectory ingestion ----
+
+// TrajTrip is one observed trip to ingest: the map-matched route node
+// sequence, its departure time, and the driver who drove it.
+type TrajTrip struct {
+	Driver    int32   `json:"driver"`
+	DepartMin float64 `json:"depart_min"` // minutes since Monday 00:00
+	Nodes     []int64 `json:"nodes"`
+}
+
+// IngestRejection reports why one trip of a batch was refused.
+type IngestRejection struct {
+	Index  int    `json:"index"`
+	Reason string `json:"reason"`
+}
+
+// IngestReport summarizes one ingestion batch.
+type IngestReport struct {
+	Accepted   int               `json:"accepted"`
+	Rejected   []IngestRejection `json:"rejected"`
+	TotalTrips int               `json:"total_trips"`
+}
+
+// IngestTrips streams observed trips into the server's live mining corpus
+// via POST /v1/trajectories. Accepted trips are visible to the popular-route
+// miners immediately and survive a restart on a durable backend. Per-trip
+// validation failures are reported in the result without failing the call.
+// Like the other mutating POSTs it retries only on 429/503 — re-sending a
+// batch the server may already have applied would ingest the trips twice.
+func (c *Client) IngestTrips(ctx context.Context, trips []TrajTrip) (*IngestReport, error) {
+	in := struct {
+		Trips []TrajTrip `json:"trips"`
+	}{trips}
+	var out IngestReport
+	if err := c.do(ctx, http.MethodPost, "/v1/trajectories", in, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ---- Asynchronous task lifecycle ----
 
 // Ticket is a published crowd task awaiting worker answers.
@@ -417,6 +457,7 @@ type Health struct {
 	Landmarks  int                        `json:"landmarks"`
 	Workers    int                        `json:"workers"`
 	Truths     int                        `json:"truths"`
+	Trips      int                        `json:"trips"`
 	OpenTasks  int                        `json:"open_tasks"`
 	UptimeSec  float64                    `json:"uptime_sec"`
 	RouteCache RouteCacheStats            `json:"route_cache"`

@@ -385,3 +385,49 @@ func TestClientPOSTRetryPolicy(t *testing.T) {
 		t.Errorf("503 POST attempts = %d, want 2", attempts["/v1/tasks/2/answer"])
 	}
 }
+
+// TestClientIngestTrips streams trips through the SDK and verifies the
+// report plus the corpus growth on /v1/health. Runs on a private world:
+// ingestion mutates the corpus.
+func TestClientIngestTrips(t *testing.T) {
+	w := core.BuildScenario(core.SmallScenarioConfig())
+	srv := httptest.NewServer(server.New(w.System).Handler())
+	t.Cleanup(srv.Close)
+	c := New(srv.URL)
+	ctx := context.Background()
+
+	var nodes []int64
+	var depart float64
+	for _, tr := range w.Data.Trips {
+		if tr.Route.Empty() {
+			continue
+		}
+		for _, n := range tr.Route.Nodes {
+			nodes = append(nodes, int64(n))
+		}
+		depart = float64(tr.Depart)
+		break
+	}
+	before := w.System.CorpusSize()
+
+	rep, err := c.IngestTrips(ctx, []TrajTrip{
+		{Driver: 7, DepartMin: depart + 15, Nodes: nodes},
+		{Driver: 8, DepartMin: 510, Nodes: []int64{0}}, // invalid: single node
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 || len(rep.Rejected) != 1 || rep.Rejected[0].Index != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.TotalTrips != before+1 {
+		t.Fatalf("total = %d, want %d", rep.TotalTrips, before+1)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Trips != before+1 {
+		t.Fatalf("health trips = %d, want %d", h.Trips, before+1)
+	}
+}

@@ -9,6 +9,7 @@
 //	cpbench -list
 //	cpbench -parallel 8         # throughput mode: hammer Recommend from 8 goroutines
 //	cpbench -parallel 1 -requests 5000 -cold
+//	cpbench -ingest 100000 -ingest-batch 500  # trajectory-ingestion throughput
 //	cpbench -exp E1 -json BENCH_e1.json       # machine-readable results
 //	cpbench -parallel 8 -json BENCH_tput.json
 //
@@ -31,6 +32,7 @@ import (
 
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/experiments"
+	"crowdplanner/internal/traj"
 )
 
 // BenchResult is one machine-readable benchmark measurement, mirroring the
@@ -45,14 +47,16 @@ type BenchResult struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md scale)")
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		parallel = flag.Int("parallel", 0, "throughput mode: serve Recommend from N goroutines instead of running experiments")
-		requests = flag.Int("requests", 4000, "throughput mode: total requests to issue")
-		cold     = flag.Bool("cold", false, "throughput mode: disable truth reuse (full evaluation every request)")
-		nocache  = flag.Bool("nocache", false, "throughput mode: disable the route cache as well")
-		jsonOut  = flag.String("json", "", "write machine-readable results (name, ns/op, allocs) to this file")
+		exp         = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
+		scale       = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md scale)")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		parallel    = flag.Int("parallel", 0, "throughput mode: serve Recommend from N goroutines instead of running experiments")
+		requests    = flag.Int("requests", 4000, "throughput mode: total requests to issue")
+		cold        = flag.Bool("cold", false, "throughput mode: disable truth reuse (full evaluation every request)")
+		nocache     = flag.Bool("nocache", false, "throughput mode: disable the route cache as well")
+		ingest      = flag.Int("ingest", 0, "ingestion mode: stream N synthetic trips through System.IngestTrips and report trips/sec")
+		ingestBatch = flag.Int("ingest-batch", 100, "ingestion mode: trips per IngestTrips batch")
+		jsonOut     = flag.String("json", "", "write machine-readable results (name, ns/op, allocs) to this file")
 	)
 	flag.Parse()
 
@@ -63,7 +67,13 @@ func main() {
 		return
 	}
 	var results []BenchResult
-	if *parallel > 0 {
+	if *ingest > 0 {
+		res, err := runIngest(*ingest, *ingestBatch)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+	} else if *parallel > 0 {
 		res, err := runThroughput(*parallel, *requests, *cold, *nocache)
 		if err != nil {
 			fatal(err)
@@ -142,6 +152,79 @@ func writeResults(path string, results []BenchResult) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runIngest measures trajectory-ingestion throughput: total synthetic trips
+// (replays of corpus routes with jittered departure times) are streamed
+// through System.IngestTrips in fixed-size batches, exercising validation,
+// the incremental mining-index update, route-cache invalidation, and the
+// storage append. A Mine-backed Recommend after the stream confirms the
+// ingested corpus still answers queries at index speed.
+func runIngest(total, batch int) (BenchResult, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	cfg := core.SmallScenarioConfig()
+	fmt.Printf("building scenario (%dx%d city)...\n", cfg.City.Cols, cfg.City.Rows)
+	scn := core.BuildScenario(cfg)
+
+	var pool []traj.Trajectory
+	for _, tr := range scn.Data.Trips {
+		if !tr.Route.Empty() {
+			pool = append(pool, tr)
+		}
+	}
+	if len(pool) == 0 {
+		return BenchResult{}, fmt.Errorf("scenario produced no usable trips")
+	}
+	trips := make([]traj.Trajectory, total)
+	for i := range trips {
+		src := pool[i%len(pool)]
+		trips[i] = traj.Trajectory{
+			Driver: src.Driver,
+			Depart: src.Depart.Add(float64(i%240) - 120), // spread over ±2 h
+			Route:  src.Route,
+		}
+	}
+
+	var accepted, rejected int
+	res := measure(fmt.Sprintf("ingest/batch=%d", batch), total, func() {
+		for off := 0; off < total; off += batch {
+			end := off + batch
+			if end > total {
+				end = total
+			}
+			rep := scn.System.IngestTrips(trips[off:end])
+			accepted += rep.Accepted
+			rejected += len(rep.Rejected)
+		}
+	})
+	elapsed := time.Duration(res.NsPerOp * float64(total))
+	rate := float64(total) / elapsed.Seconds()
+
+	fmt.Printf("\n== ingestion (batch=%d) ==\n", batch)
+	fmt.Printf("  trips      %d (%d accepted, %d rejected)\n", total, accepted, rejected)
+	fmt.Printf("  elapsed    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  rate       %.0f trips/s\n", rate)
+	fmt.Printf("  corpus     %d trips\n", scn.System.CorpusSize())
+
+	// One full-pipeline query over the grown corpus: the miners answer from
+	// the updated indexes.
+	q := pool[0]
+	start := time.Now()
+	if _, err := scn.System.Recommend(context.Background(), core.Request{
+		From: q.Route.Source(), To: q.Route.Dest(), Depart: q.Depart,
+	}); err != nil {
+		return BenchResult{}, fmt.Errorf("post-ingest recommend: %w", err)
+	}
+	fmt.Printf("  post-ingest recommend  %v\n", time.Since(start).Round(time.Microsecond))
+
+	res.Extra = map[string]float64{
+		"trips_per_sec": rate,
+		"batch":         float64(batch),
+		"accepted":      float64(accepted),
+	}
+	return res, nil
 }
 
 // runThroughput measures end-to-end Recommend throughput over the standard

@@ -84,8 +84,8 @@ func main() {
 		}
 		// TruthDB().Len(), not stats.LoadedTruths: the latter counts raw log
 		// records, including ones superseded by later commits to the same key.
-		log.Printf("restored from %s: %d truths, %d workers, %d open tasks%s",
-			*dataDir, scn.System.TruthDB().Len(), stats.LoadedWorkers, stats.LoadedTasks, msg)
+		log.Printf("restored from %s: %d truths, %d workers, %d open tasks, %d ingested trips%s",
+			*dataDir, scn.System.TruthDB().Len(), stats.LoadedWorkers, stats.LoadedTasks, stats.LoadedTrips, msg)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

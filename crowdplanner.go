@@ -32,6 +32,7 @@ import (
 	"crowdplanner/internal/server"
 	"crowdplanner/internal/store"
 	"crowdplanner/internal/store/diskstore"
+	"crowdplanner/internal/traj"
 )
 
 // Core request/response types, re-exported from the system core.
@@ -62,6 +63,14 @@ type (
 	Route = roadnet.Route
 	// SimTime is a simulated departure time (minutes since Monday 00:00).
 	SimTime = routing.SimTime
+
+	// Trajectory is one recorded trip; pass map-matched trajectories to
+	// System.IngestTrips to grow the live mining corpus.
+	Trajectory = traj.Trajectory
+	// IngestReport summarizes one System.IngestTrips batch.
+	IngestReport = core.IngestReport
+	// IngestRejection reports why one trip of a batch was refused.
+	IngestRejection = core.IngestRejection
 
 	// Store is the pluggable storage backend contract for the system's
 	// mutable state (verified truths, worker histories/rewards, pending

@@ -1,11 +1,13 @@
-// Persistence: verified crowd knowledge survives a restart.
+// Persistence: verified crowd knowledge — and ingested trajectories —
+// survive a restart.
 //
 // The program runs the same deterministic world twice against one data
 // directory. The first "process" resolves a request the hard way — candidate
-// generation, evaluation, possibly the crowd — and its truth commit lands in
-// the write-ahead log. The second "process" (a fresh system, as after a
-// crash or deploy) replays the log on boot and answers the same request via
-// StageReuse, without recomputing anything.
+// generation, evaluation, possibly the crowd — and streams a freshly
+// observed trip into the live mining corpus; both commits land in the
+// write-ahead log. The second "process" (a fresh system, as after a crash or
+// deploy) replays the log on boot, answers the same request via StageReuse
+// without recomputing anything, and the miners see the ingested trip again.
 package main
 
 import (
@@ -38,16 +40,28 @@ func main() {
 	fmt.Printf("first life:  %d→%d resolved by %-9s (confidence %.2f, %d truths stored)\n",
 		req.From, req.To, resp.Stage, resp.Confidence, sys1.System.TruthDB().Len())
 
+	// Stream one freshly observed trip into the live mining corpus: it is
+	// visible to the popular-route miners immediately, and its WAL record
+	// makes it durable.
+	observed := crowdplanner.Trajectory{Driver: trip.Driver, Depart: req.Depart, Route: trip.Route}
+	rep := sys1.System.IngestTrips([]crowdplanner.Trajectory{observed})
+	fmt.Printf("first life:  ingested %d trip(s); corpus now %d trips\n",
+		rep.Accepted, rep.TotalTrips)
+
 	// Die without a snapshot — the WAL alone carries the state.
 	if err := sys1.Store.Close(); err != nil {
 		log.Fatal(err)
 	}
 
 	// ---- second life: reuse it ----
-	sys2, _ := boot(dir)
+	sys2, scn2 := boot(dir)
 	defer sys2.Store.Close()
 	stats, _ := sys2.System.StoreStats()
-	fmt.Printf("second life: restored %d truths from the WAL\n", stats.LoadedTruths)
+	fmt.Printf("second life: restored %d truths and %d ingested trip(s) from the WAL\n",
+		stats.LoadedTruths, stats.LoadedTrips)
+	if len(scn2.Data.IngestedTrips()) != rep.Accepted {
+		log.Fatal("ingested trips did not survive the restart")
+	}
 
 	again, err := sys2.System.Recommend(context.Background(), req)
 	if err != nil {

@@ -242,6 +242,13 @@ func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, po
 	// Spatial truth index: bucket truths by from-endpoint cell sized to the
 	// confidence query radius, so Near touches only nearby buckets.
 	s.truth.EnableSpatialIndex(g, cfg.TruthRadius)
+	// Mining index: endpoint grid + footmark frequency graphs over the
+	// trajectory corpus, so the popular-route miners answer from a handful
+	// of buckets instead of re-scanning every trip, and IngestTrips can grow
+	// the corpus while serving.
+	if data != nil {
+		data.EnableMiningIndex()
+	}
 	s.RefreshFamiliarity()
 	return s
 }
@@ -268,6 +275,10 @@ func (s *System) TruthDB() *truth.DB { return s.truth }
 
 // Pool exposes the worker pool.
 func (s *System) Pool() *worker.Pool { return s.pool }
+
+// CorpusSize returns the current trajectory-corpus size (generated plus
+// ingested trips). Surfaced on GET /v1/health.
+func (s *System) CorpusSize() int { return s.data.NumTrips() }
 
 // Config returns the active configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -738,14 +749,31 @@ func (s *System) storeTruth(req Request, route roadnet.Route, conf float64, byCr
 	}
 	s.truth.Store(e)
 	// A crowd-verified truth is new external knowledge about this OD+slot:
-	// drop the cached candidate set so the next evaluation rebuilds from
-	// scratch. Truths *derived* from the candidates themselves (agreement/
+	// drop the cached candidate sets so the next evaluation rebuilds from
+	// scratch. The invalidation covers every slot within TruthSlotTol of the
+	// commit — truth.DB.Near honors that tolerance when scoring candidates,
+	// so a cached set for an adjacent slot is just as stale as the exact
+	// one. Truths *derived* from the candidates themselves (agreement/
 	// confidence stages) don't invalidate — candidate generation is
 	// independent of the truth store, and evicting on every derived store
 	// would defeat the cache exactly in re-evaluation mode (ReuseTruth
 	// off), where it absorbs the repeat graph searches.
 	if byCrowd {
-		s.routes.Invalidate(s.cacheKey(req))
+		key := s.cacheKey(req)
+		slots, tol := s.cfg.TruthSlots, s.cfg.TruthSlotTol
+		if tol < 0 {
+			tol = 0
+		}
+		if 2*tol+1 >= slots {
+			for sl := 0; sl < slots; sl++ {
+				s.routes.Invalidate(routecache.Key{From: key.From, To: key.To, Slot: sl})
+			}
+		} else {
+			for ds := -tol; ds <= tol; ds++ {
+				sl := ((key.Slot+ds)%slots + slots) % slots
+				s.routes.Invalidate(routecache.Key{From: key.From, To: key.To, Slot: sl})
+			}
+		}
 	}
 	return e
 }

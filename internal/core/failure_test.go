@@ -8,6 +8,7 @@ import (
 	"crowdplanner/internal/roadnet"
 	"crowdplanner/internal/routing"
 	"crowdplanner/internal/task"
+	"crowdplanner/internal/traj"
 )
 
 // failingOracle simulates the population oracle being unavailable.
@@ -101,9 +102,7 @@ func TestRecommendIsolatedDataset(t *testing.T) {
 	// A system over an empty trajectory corpus: miners always decline, only
 	// web-service candidates exist, and the pipeline still answers.
 	s := scenario(t)
-	empty := s.Data
-	emptyCopy := *empty
-	emptyCopy.Trips = nil
+	emptyCopy := traj.Dataset{Graph: s.Data.Graph, Drivers: s.Data.Drivers}
 	cfg := s.System.Config()
 	cfg.ReuseTruth = false
 	sys := New(cfg, s.Graph, s.Landmarks, &emptyCopy, s.Pool,

@@ -13,6 +13,7 @@ import (
 	"crowdplanner/internal/routing"
 	"crowdplanner/internal/store"
 	"crowdplanner/internal/task"
+	"crowdplanner/internal/traj"
 	"crowdplanner/internal/truth"
 	"crowdplanner/internal/worker"
 )
@@ -164,6 +165,11 @@ func (s *System) captureState() *store.State {
 	for _, e := range s.truth.Entries() {
 		st.Truths = append(st.Truths, truthToRecord(e))
 	}
+	// Only the ingested stream is persisted; the generated base corpus is
+	// rebuilt deterministically by BuildScenario on every boot. Trips keep
+	// the sequence numbers they were first logged under, so snapshot and
+	// stale-WAL copies of the same trip agree and the replay dedupe holds.
+	st.Trips = tripsToRecordsSeqs(s.data.IngestedStream())
 
 	s.mu.Lock()
 	st.NextTaskID = s.nextTaskID
@@ -227,6 +233,25 @@ func (s *System) LoadFromStore(ctx context.Context) (store.Stats, error) {
 
 	for _, t := range loaded.Truths {
 		s.truth.Store(recordToTruth(t))
+	}
+
+	// Replay the ingested trajectory stream into the corpus (and its mining
+	// indexes) before any open-task restore regenerates candidates, so the
+	// miners see the corpus as it stood at crash time. Load has already
+	// ordered the records by sequence number and dropped duplicates; the
+	// route cache is empty at boot, so no invalidation is needed, and the
+	// records are already durable, so nothing is re-appended.
+	if len(loaded.Trips) > 0 {
+		trips := make([]traj.Trajectory, len(loaded.Trips))
+		seqs := make([]int64, len(loaded.Trips))
+		for i, r := range loaded.Trips {
+			trips[i] = recordToTrip(r)
+			seqs[i] = r.Seq
+		}
+		// RestoreTrips keeps the persisted sequence numbers and advances the
+		// live counter past the highest, so post-replay ingestion never
+		// reuses a number even when the stream has gaps.
+		s.data.RestoreTrips(trips, seqs)
 	}
 
 	// Load returns folded state: Workers carry the final absolute values
@@ -318,6 +343,13 @@ func (s *System) validateLoaded(loaded *store.State) error {
 	for _, t := range loaded.OpenTasks {
 		if badNode(t.From) || badNode(t.To) {
 			return fmt.Errorf("core: persisted task %d (%d→%d) references nodes outside this %d-node world; was the data directory written by a different scenario?", t.ID, t.From, t.To, n)
+		}
+	}
+	for _, t := range loaded.Trips {
+		for _, nd := range t.Nodes {
+			if badNode(nd) {
+				return fmt.Errorf("core: persisted trajectory (seq %d) references nodes outside this %d-node world; was the data directory written by a different scenario?", t.Seq, n)
+			}
 		}
 	}
 	return nil

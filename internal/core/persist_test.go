@@ -7,6 +7,7 @@ import (
 
 	"crowdplanner/internal/store"
 	"crowdplanner/internal/store/diskstore"
+	"crowdplanner/internal/traj"
 )
 
 // buildPersistent builds the small scenario over a diskstore rooted at dir
@@ -300,6 +301,81 @@ func TestWorldFingerprintRejected(t *testing.T) {
 		t.Fatal("foreign-seed world accepted a pinned data dir, want error")
 	} else if !strings.Contains(err.Error(), "different world") {
 		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestIngestedTripsSurviveRestart is the ingestion acceptance test: trips
+// streamed in via IngestTrips must ride the snapshot+WAL format — some
+// compacted into a snapshot, some left in the WAL (the "kill -9" case) —
+// and be visible to the miners after a restart.
+func TestIngestedTripsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	scn1, ds1 := buildPersistent(t, dir)
+	sys1 := scn1.System
+	base := sys1.CorpusSize()
+
+	ingest := func(sys *System, n int, shift float64) []traj.Trajectory {
+		trips := cloneTrips(scn1, n, shift)
+		rep := sys.IngestTrips(trips)
+		if rep.Accepted != n {
+			t.Fatalf("ingest accepted %d of %d: %+v", rep.Accepted, n, rep.Rejected)
+		}
+		return trips
+	}
+	// First wave, then a snapshot (compacts the wave into snapshot.cps),
+	// then a second wave that only the WAL holds.
+	first := ingest(sys1, 4, 45)
+	if _, err := sys1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	second := ingest(sys1, 3, 90)
+	// Kill without a second snapshot.
+	if err := ds1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	scn2, ds2 := buildPersistent(t, dir)
+	defer ds2.Close()
+	sys2 := scn2.System
+	if got, want := sys2.CorpusSize(), base+len(first)+len(second); got != want {
+		t.Fatalf("corpus after restart = %d, want %d", got, want)
+	}
+	st, _ := sys2.StoreStats()
+	if st.LoadedTrips != len(first)+len(second) {
+		t.Fatalf("loaded trips = %d, want %d", st.LoadedTrips, len(first)+len(second))
+	}
+	// The replayed trips are visible to the miner query path, in ingestion
+	// order after the regenerated base corpus.
+	restored := scn2.Data.IngestedTrips()
+	if len(restored) != len(first)+len(second) {
+		t.Fatalf("ingested tail = %d trips, want %d", len(restored), len(first)+len(second))
+	}
+	for i, want := range append(append([]traj.Trajectory{}, first...), second...) {
+		if !restored[i].Route.Equal(want.Route) || restored[i].Depart != want.Depart || restored[i].Driver != want.Driver {
+			t.Fatalf("restored trip %d = %+v, want %+v", i, restored[i], want)
+		}
+	}
+	tr := first[0]
+	matches := scn2.Data.TripsBetween(tr.Route.Source(), tr.Route.Dest(), 0)
+	found := false
+	for _, m := range matches {
+		if m.Depart == tr.Depart && m.Route.Equal(tr.Route) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("replayed trip not visible to TripsBetween after restart")
+	}
+
+	// A second snapshot+restart round trip must not duplicate anything.
+	if _, err := sys2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ds2.Close()
+	scn3, ds3 := buildPersistent(t, dir)
+	defer ds3.Close()
+	if got, want := scn3.System.CorpusSize(), base+len(first)+len(second); got != want {
+		t.Fatalf("corpus after second restart = %d, want %d (duplicated replay?)", got, want)
 	}
 }
 

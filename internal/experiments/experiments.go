@@ -170,7 +170,7 @@ func denseODs(scn *core.Scenario, n int) []core.Request {
 // sparseODs draws OD pairs that have little or no trajectory support.
 func sparseODs(scn *core.Scenario, n int, seed int64) []core.Request {
 	rng := newRng(seed)
-	ods := traj.RandomODs(scn.Graph, n*3, 1500, rng)
+	ods, _ := traj.RandomODs(scn.Graph, n*3, 1500, rng) // shortfall fine: only n are kept
 	var out []core.Request
 	for _, od := range ods {
 		if len(out) >= n {

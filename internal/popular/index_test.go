@@ -1,0 +1,231 @@
+package popular
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
+	"crowdplanner/internal/traj"
+)
+
+// The tests in this file pin the mining index's correctness contract: every
+// miner must return bit-identical results — route, support, and error — on
+// an indexed dataset and on a plain (linear-scan) dataset holding the same
+// trips, including trips that arrived through live ingestion. The
+// benchmarks at the bottom are the acceptance measurements at 100k trips.
+
+// corpusGraph is the mid-size generated city shared by corpus builders.
+func corpusGraph(tb testing.TB) *roadnet.Graph {
+	tb.Helper()
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Cols, cfg.Rows = 12, 12
+	cfg.Seed = 41
+	return roadnet.Generate(cfg)
+}
+
+// routeTemplates computes distinct real paths between spread-out OD pairs —
+// cheap to replicate into an arbitrarily large synthetic corpus without
+// running the GPS/map-matching pipeline per trip.
+func routeTemplates(tb testing.TB, g *roadnet.Graph, n int, seed int64) []roadnet.Route {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var out []roadnet.Route
+	for len(out) < n {
+		from := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		to := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		if from == to {
+			continue
+		}
+		cost := routing.DistanceCost
+		if rng.Intn(2) == 0 {
+			cost = routing.TravelTimeCost
+		}
+		r, _, err := routing.ShortestPath(g, from, to, cost, routing.At(0, 8, 0))
+		if err != nil || r.Empty() {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// syntheticTrips replicates the templates into nTrips trajectories with
+// varied drivers and departure times (including fractional hours, so the
+// MFP window boundaries get exercised).
+func syntheticTrips(templates []roadnet.Route, nTrips int, seed int64) []traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	trips := make([]traj.Trajectory, nTrips)
+	for i := range trips {
+		trips[i] = traj.Trajectory{
+			Driver: traj.DriverID(rng.Intn(60)),
+			Depart: routing.SimTime(rng.Float64() * 7 * 24 * 60),
+			Route:  templates[i%len(templates)],
+		}
+	}
+	return trips
+}
+
+// twinDatasets builds two datasets holding identical trips: one linear-scan
+// (the baseline) and one with the mining index, where half the trips are
+// present at index build time and half arrive through IngestTrips — so the
+// equivalence also covers the incremental (copy-on-write) update path.
+func twinDatasets(tb testing.TB, g *roadnet.Graph, trips []traj.Trajectory) (scan, indexed *traj.Dataset) {
+	tb.Helper()
+	scan = &traj.Dataset{Graph: g, Trips: append([]traj.Trajectory(nil), trips...)}
+	indexed = &traj.Dataset{Graph: g, Trips: append([]traj.Trajectory(nil), trips[:len(trips)/2]...)}
+	indexed.EnableMiningIndex()
+	// Ingest the second half in several batches.
+	rest := trips[len(trips)/2:]
+	for len(rest) > 0 {
+		n := len(rest)/3 + 1
+		if n > len(rest) {
+			n = len(rest)
+		}
+		indexed.IngestTrips(rest[:n])
+		rest = rest[n:]
+	}
+	return scan, indexed
+}
+
+// TestIndexedMinersMatchScan is the correctness anchor: for many random
+// queries all three miners must agree exactly between the indexed dataset
+// (half built, half ingested) and the linear-scan baseline.
+func TestIndexedMinersMatchScan(t *testing.T) {
+	g := corpusGraph(t)
+	templates := routeTemplates(t, g, 40, 5)
+	trips := syntheticTrips(templates, 4000, 6)
+	scan, indexed := twinDatasets(t, g, trips)
+	if !indexed.MiningIndexed() || scan.MiningIndexed() {
+		t.Fatal("dataset index flags wrong")
+	}
+
+	miners := []Miner{NewMPR(), NewMFP(), NewLDR()}
+	rng := rand.New(rand.NewSource(77))
+	nn := g.NumNodes()
+	for q := 0; q < 150; q++ {
+		var from, to roadnet.NodeID
+		if q%2 == 0 {
+			// Template endpoints: queries the corpus can actually answer.
+			r := templates[rng.Intn(len(templates))]
+			from, to = r.Source(), r.Dest()
+		} else {
+			from = roadnet.NodeID(rng.Intn(nn))
+			to = roadnet.NodeID(rng.Intn(nn))
+		}
+		// Fractional hours probe the MFP slot boundaries.
+		tm := routing.SimTime(rng.Float64() * 7 * 24 * 60)
+		for _, m := range miners {
+			wantR, wantS, wantErr := m.Mine(scan, from, to, tm)
+			gotR, gotS, gotErr := m.Mine(indexed, from, to, tm)
+			if !errors.Is(gotErr, wantErr) && (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s query %d (%d→%d @%v): err %v vs scan %v", m.Name(), q, from, to, tm, gotErr, wantErr)
+			}
+			if !gotR.Equal(wantR) || gotS != wantS {
+				t.Fatalf("%s query %d (%d→%d @%v): route/support %v %v vs scan %v %v",
+					m.Name(), q, from, to, tm, gotR, gotS, wantR, wantS)
+			}
+		}
+	}
+}
+
+// TestMFPWindowBoundaryExact targets the full-slot/boundary-slot split of
+// the footmark index: query hours sitting exactly on slot edges and window
+// edges must produce identical frequency graphs, which the bottleneck
+// support value surfaces.
+func TestMFPWindowBoundaryExact(t *testing.T) {
+	g := corpusGraph(t)
+	templates := routeTemplates(t, g, 10, 9)
+	// Departures packed around slot boundaries and the ±window edge.
+	var trips []traj.Trajectory
+	d := 0
+	for _, h := range []float64{5.999, 6.0, 6.001, 7.5, 7.999, 8.0, 9.999, 10.0, 10.001, 22.0, 23.999, 0.0} {
+		for k := 0; k < 4; k++ {
+			trips = append(trips, traj.Trajectory{
+				Driver: traj.DriverID(d % 7),
+				Depart: routing.SimTime(h * 60),
+				Route:  templates[d%len(templates)],
+			})
+			d++
+		}
+	}
+	scan, indexed := twinDatasets(t, g, trips)
+	m := NewMFP()
+	for _, qh := range []float64{0, 4.0, 4.001, 6.0, 7.999, 8.0, 8.001, 12.0, 23.999, 2.0, 10.0} {
+		tm := routing.SimTime(qh * 60)
+		for _, r := range templates[:3] {
+			wantR, wantS, wantErr := m.Mine(scan, r.Source(), r.Dest(), tm)
+			gotR, gotS, gotErr := m.Mine(indexed, r.Source(), r.Dest(), tm)
+			if (gotErr == nil) != (wantErr == nil) || gotS != wantS || !gotR.Equal(wantR) {
+				t.Fatalf("qh=%v od=%d→%d: indexed (%v,%v,%v) vs scan (%v,%v,%v)",
+					qh, r.Source(), r.Dest(), gotR, gotS, gotErr, wantR, wantS, wantErr)
+			}
+		}
+	}
+}
+
+// TestMinersDeterministicAcrossRuns: the sorted-adjacency searches must make
+// tie-broken results stable run to run on both paths.
+func TestMinersDeterministicAcrossRuns(t *testing.T) {
+	g := corpusGraph(t)
+	templates := routeTemplates(t, g, 20, 15)
+	trips := syntheticTrips(templates, 1500, 16)
+	scan, indexed := twinDatasets(t, g, trips)
+	for _, ds := range []*traj.Dataset{scan, indexed} {
+		for _, m := range []Miner{NewMPR(), NewMFP(), NewLDR()} {
+			r := templates[0]
+			r1, s1, e1 := m.Mine(ds, r.Source(), r.Dest(), routing.At(1, 9, 30))
+			r2, s2, e2 := m.Mine(ds, r.Source(), r.Dest(), routing.At(1, 9, 30))
+			if (e1 == nil) != (e2 == nil) || s1 != s2 || !r1.Equal(r2) {
+				t.Fatalf("%s not deterministic: %v/%v vs %v/%v", m.Name(), r1, s1, r2, s2)
+			}
+		}
+	}
+}
+
+// ---- acceptance benchmarks: indexed miners vs linear scan at 100k trips ----
+
+var benchState struct {
+	g         *roadnet.Graph
+	templates []roadnet.Route
+	scan      *traj.Dataset
+	indexed   *traj.Dataset
+}
+
+func bench100k(b *testing.B) {
+	b.Helper()
+	if benchState.g == nil {
+		g := corpusGraph(b)
+		// ~300 distinct ODs at ~330 trips each: large-corpus shape where no
+		// single OD pair hoards the trips.
+		templates := routeTemplates(b, g, 300, 21)
+		trips := syntheticTrips(templates, 100_000, 22)
+		benchState.g = g
+		benchState.templates = templates
+		benchState.scan = &traj.Dataset{Graph: g, Trips: trips}
+		benchState.indexed = &traj.Dataset{Graph: g, Trips: append([]traj.Trajectory(nil), trips...)}
+		benchState.indexed.EnableMiningIndex()
+	}
+}
+
+func benchMine(b *testing.B, m Miner, indexed bool) {
+	bench100k(b)
+	ds := benchState.scan
+	if indexed {
+		ds = benchState.indexed
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := benchState.templates[i%len(benchState.templates)]
+		tm := routing.At(i%7, (8+i)%24, 30)
+		_, _, _ = m.Mine(ds, r.Source(), r.Dest(), tm)
+	}
+}
+
+func BenchmarkMineIndexedMPR100k(b *testing.B) { benchMine(b, NewMPR(), true) }
+func BenchmarkMineScanMPR100k(b *testing.B)    { benchMine(b, NewMPR(), false) }
+func BenchmarkMineIndexedMFP100k(b *testing.B) { benchMine(b, NewMFP(), true) }
+func BenchmarkMineScanMFP100k(b *testing.B)    { benchMine(b, NewMFP(), false) }
+func BenchmarkMineIndexedLDR100k(b *testing.B) { benchMine(b, NewLDR(), true) }
+func BenchmarkMineScanLDR100k(b *testing.B)    { benchMine(b, NewLDR(), false) }

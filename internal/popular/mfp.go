@@ -29,21 +29,20 @@ func NewMFP() *MFP { return &MFP{WindowHours: 2, MinBottleneck: 2} }
 // Name implements Miner.
 func (m *MFP) Name() string { return "MFP" }
 
-// Mine implements Miner.
+// Mine implements Miner. On a dataset with the mining index enabled the
+// time-window footmark graph is assembled from per-slot aggregates (only
+// boundary slots are filtered trip by trip); otherwise every trip is
+// scanned — the benchmark baseline. Both produce the same frequency map and
+// feed the same deterministic searches.
 func (m *MFP) Mine(ds *traj.Dataset, from, to roadnet.NodeID, t routing.SimTime) (roadnet.Route, float64, error) {
 	if err := validateOD(ds.Graph, from, to); err != nil {
 		return roadnet.Route{}, 0, err
 	}
 	// Footmark graph restricted to the time window.
 	hour := t.HourOfDay()
-	freq := map[transferKey]int{}
-	for _, trip := range ds.Trips {
-		if hourDistance(trip.Depart.HourOfDay(), hour) > m.WindowHours {
-			continue
-		}
-		tripTransitions(trip.Route, func(a, b roadnet.NodeID) {
-			freq[transferKey{a, b}]++
-		})
+	freq, ok := ds.FootmarksNearHour(hour, m.WindowHours)
+	if !ok {
+		freq = scanFootmarks(ds, hour, m.WindowHours)
 	}
 	if len(freq) == 0 {
 		return roadnet.Route{}, 0, ErrNotEnoughData
@@ -65,11 +64,8 @@ func (m *MFP) Mine(ds *traj.Dataset, from, to roadnet.NodeID, t routing.SimTime)
 
 // maxBottleneck computes the maximum over paths from→to of the minimum edge
 // frequency (a widest-path search). Returns 0 when unreachable.
-func (m *MFP) maxBottleneck(freq map[transferKey]int, from, to roadnet.NodeID) int {
-	adj := map[roadnet.NodeID][]transferKey{}
-	for k := range freq {
-		adj[k.from] = append(adj[k.from], k)
-	}
+func (m *MFP) maxBottleneck(freq map[traj.Transition]int, from, to roadnet.NodeID) int {
+	adj := adjacency(freq)
 	best := map[roadnet.NodeID]int{from: math.MaxInt}
 	done := map[roadnet.NodeID]bool{}
 	pq := &widestQueue{{node: from, width: math.MaxInt}}
@@ -84,16 +80,16 @@ func (m *MFP) maxBottleneck(freq map[transferKey]int, from, to roadnet.NodeID) i
 			return it.width
 		}
 		for _, k := range adj[it.node] {
-			if done[k.to] {
+			if done[k.To] {
 				continue
 			}
 			w := it.width
 			if f := freq[k]; f < w {
 				w = f
 			}
-			if old, ok := best[k.to]; !ok || w > old {
-				best[k.to] = w
-				heap.Push(pq, widestItem{node: k.to, width: w})
+			if old, ok := best[k.To]; !ok || w > old {
+				best[k.To] = w
+				heap.Push(pq, widestItem{node: k.To, width: w})
 			}
 		}
 	}
@@ -102,15 +98,15 @@ func (m *MFP) maxBottleneck(freq map[transferKey]int, from, to roadnet.NodeID) i
 
 // shortestAtLeast finds the shortest (by meters) path using only transitions
 // with frequency >= minFreq.
-func (m *MFP) shortestAtLeast(g *roadnet.Graph, freq map[transferKey]int, minFreq int, from, to roadnet.NodeID) (roadnet.Route, error) {
-	allowed := map[transferKey]bool{}
+func (m *MFP) shortestAtLeast(g *roadnet.Graph, freq map[traj.Transition]int, minFreq int, from, to roadnet.NodeID) (roadnet.Route, error) {
+	allowed := map[traj.Transition]bool{}
 	for k, f := range freq {
 		if f >= minFreq {
 			allowed[k] = true
 		}
 	}
 	cost := func(e *roadnet.Edge, _ routing.SimTime) float64 {
-		if !allowed[transferKey{e.From, e.To}] {
+		if !allowed[traj.Transition{From: e.From, To: e.To}] {
 			return math.Inf(1)
 		}
 		return e.Length

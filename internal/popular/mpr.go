@@ -57,28 +57,25 @@ func (q *mprQueue) Pop() any {
 	return it
 }
 
-// Mine implements Miner.
+// Mine implements Miner. On a dataset with the mining index enabled the
+// transfer network comes straight from the index's corpus-wide transition
+// totals (kept current by ingestion); otherwise it is rebuilt by scanning
+// every trip — the benchmark baseline. Both paths feed the same
+// deterministic search and return bit-identical routes.
 func (m *MPR) Mine(ds *traj.Dataset, from, to roadnet.NodeID, _ routing.SimTime) (roadnet.Route, float64, error) {
 	if err := validateOD(ds.Graph, from, to); err != nil {
 		return roadnet.Route{}, 0, err
 	}
-	counts := map[transferKey]int{}
-	outTotals := map[roadnet.NodeID]int{}
-	for _, trip := range ds.Trips {
-		tripTransitions(trip.Route, func(a, b roadnet.NodeID) {
-			counts[transferKey{a, b}]++
-			outTotals[a]++
-		})
+	counts, outTotals, ok := ds.TransitionTotals()
+	if !ok {
+		counts, outTotals = scanTransitions(ds)
 	}
 	if outTotals[from] < m.MinTransitions {
 		return roadnet.Route{}, 0, ErrNotEnoughData
 	}
 
-	// Transfer-network adjacency.
-	adj := map[roadnet.NodeID][]transferKey{}
-	for k := range counts {
-		adj[k.from] = append(adj[k.from], k)
-	}
+	// Transfer-network adjacency, destination-sorted for determinism.
+	adj := adjacency(counts)
 
 	// Dijkstra over -log(P) on observed transitions only.
 	dist := map[roadnet.NodeID]float64{from: 0}
@@ -97,15 +94,15 @@ func (m *MPR) Mine(ds *traj.Dataset, from, to roadnet.NodeID, _ routing.SimTime)
 			break
 		}
 		for _, k := range adj[it.node] {
-			if done[k.to] {
+			if done[k.To] {
 				continue
 			}
-			p := float64(counts[k]) / float64(outTotals[k.from])
+			p := float64(counts[k]) / float64(outTotals[k.From])
 			cost := it.cost - math.Log(p)
-			if old, ok := dist[k.to]; !ok || cost < old {
-				dist[k.to] = cost
-				prev[k.to] = k.from
-				heap.Push(pq, mprItem{node: k.to, cost: cost})
+			if old, ok := dist[k.To]; !ok || cost < old {
+				dist[k.To] = cost
+				prev[k.To] = k.From
+				heap.Push(pq, mprItem{node: k.To, cost: cost})
 			}
 		}
 	}

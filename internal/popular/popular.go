@@ -13,6 +13,7 @@ package popular
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"crowdplanner/internal/roadnet"
 	"crowdplanner/internal/routing"
@@ -33,45 +34,111 @@ type Miner interface {
 	Mine(ds *traj.Dataset, from, to roadnet.NodeID, t routing.SimTime) (route roadnet.Route, support float64, err error)
 }
 
-// transferKey is a directed node pair.
-type transferKey struct {
-	from, to roadnet.NodeID
+// tripTransitions iterates the consecutive node pairs of a matched route
+// (thin adapter over the shared traj.RouteTransitions definition).
+func tripTransitions(r roadnet.Route, fn func(from, to roadnet.NodeID)) {
+	traj.RouteTransitions(r, func(t traj.Transition) { fn(t.From, t.To) })
 }
 
-// tripTransitions iterates the consecutive node pairs of a matched route.
-func tripTransitions(r roadnet.Route, fn func(from, to roadnet.NodeID)) {
-	for i := 1; i < len(r.Nodes); i++ {
-		fn(r.Nodes[i-1], r.Nodes[i])
+// adjacency groups a transition-frequency map's keys by source node, each
+// list sorted by destination. The searches relax a node's transitions in
+// this order, which (together with the priority queues' node tie-breaks)
+// makes tie-broken results independent of map iteration order — the property
+// that lets the indexed miners pin bit-identical routes against the scan
+// baselines.
+func adjacency(freq map[traj.Transition]int) map[roadnet.NodeID][]traj.Transition {
+	adj := map[roadnet.NodeID][]traj.Transition{}
+	for k := range freq {
+		adj[k.From] = append(adj[k.From], k)
 	}
+	for _, ts := range adj {
+		sort.Slice(ts, func(i, j int) bool { return ts[i].To < ts[j].To })
+	}
+	return adj
+}
+
+// scanTransitions is the linear-scan fallback (and benchmark baseline) for
+// MPR's transfer network: corpus-wide transition counts and per-node
+// outgoing totals. Datasets with the mining index enabled answer the same
+// query from Dataset.TransitionTotals without touching the trips.
+func scanTransitions(ds *traj.Dataset) (map[traj.Transition]int, map[roadnet.NodeID]int) {
+	counts := map[traj.Transition]int{}
+	out := map[roadnet.NodeID]int{}
+	ds.ForEachTrip(func(trip *traj.Trajectory) {
+		tripTransitions(trip.Route, func(a, b roadnet.NodeID) {
+			counts[traj.Transition{From: a, To: b}]++
+			out[a]++
+		})
+	})
+	return counts, out
+}
+
+// scanFootmarks is the linear-scan fallback (and benchmark baseline) for
+// MFP's time-period footmark graph: transition frequencies over trips
+// departing within window hours (circularly) of hour.
+func scanFootmarks(ds *traj.Dataset, hour, window float64) map[traj.Transition]int {
+	freq := map[traj.Transition]int{}
+	ds.ForEachTrip(func(trip *traj.Trajectory) {
+		if hourDistance(trip.Depart.HourOfDay(), hour) > window {
+			return
+		}
+		tripTransitions(trip.Route, func(a, b roadnet.NodeID) {
+			freq[traj.Transition{From: a, To: b}]++
+		})
+	})
+	return freq
 }
 
 // modeRoute returns the most common route in rs (by exact node sequence),
 // its vote count, and the total number of votes. Ties break on the smaller
-// route string for determinism.
+// route string for determinism. Routes are grouped by a node-sequence hash
+// (collisions resolved by exact comparison) so the per-trip cost is one hash
+// pass, not a string allocation; the tie-break strings are built lazily and
+// only for the handful of distinct routes that actually tie.
 func modeRoute(rs []roadnet.Route) (roadnet.Route, int, int) {
 	type bucket struct {
 		route roadnet.Route
 		votes int
+		key   string // lazy r.String(), filled on tie-break only
 	}
-	counts := map[string]*bucket{}
+	groups := map[uint64][]*bucket{}
 	total := 0
 	for _, r := range rs {
 		if r.Empty() {
 			continue
 		}
 		total++
-		k := r.String()
-		if b, ok := counts[k]; ok {
-			b.votes++
-		} else {
-			counts[k] = &bucket{route: r, votes: 1}
+		h := hashNodes(r.Nodes)
+		var b *bucket
+		for _, c := range groups[h] {
+			if c.route.Equal(r) {
+				b = c
+				break
+			}
 		}
+		if b == nil {
+			b = &bucket{route: r}
+			groups[h] = append(groups[h], b)
+		}
+		b.votes++
 	}
-	var bestKey string
 	var best *bucket
-	for k, b := range counts {
-		if best == nil || b.votes > best.votes || (b.votes == best.votes && k < bestKey) {
-			best, bestKey = b, k
+	for _, bs := range groups {
+		for _, b := range bs {
+			switch {
+			case best == nil || b.votes > best.votes:
+				best = b
+			case b.votes == best.votes:
+				if b.key == "" {
+					b.key = b.route.String()
+				}
+				if best.key == "" {
+					best.key = best.route.String()
+				}
+				if b.key < best.key {
+					best = b
+				}
+			}
 		}
 	}
 	if best == nil {
@@ -80,18 +147,21 @@ func modeRoute(rs []roadnet.Route) (roadnet.Route, int, int) {
 	return best.route, best.votes, total
 }
 
-// hourDistance returns the circular distance in hours between two
-// hours-of-day.
-func hourDistance(a, b float64) float64 {
-	d := a - b
-	if d < 0 {
-		d = -d
+// hashNodes is an FNV-1a hash over a node sequence.
+func hashNodes(nodes []roadnet.NodeID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, n := range nodes {
+		h ^= uint64(n)
+		h *= 1099511628211
 	}
-	if d > 12 {
-		d = 24 - d
-	}
-	return d
+	return h
 }
+
+// hourDistance returns the circular distance in hours between two
+// hours-of-day. It delegates to the shared traj.HourDist so the miners'
+// scan filters and the mining index's boundary-slot filter can never
+// disagree trip by trip.
+func hourDistance(a, b float64) float64 { return traj.HourDist(a, b) }
 
 // validateOD checks node IDs against the graph.
 func validateOD(g *roadnet.Graph, from, to roadnet.NodeID) error {

@@ -6,6 +6,7 @@
 //
 //	POST /v1/recommend         — process a route request through the full pipeline
 //	POST /v1/recommend/batch   — fan N requests through the concurrent core
+//	POST /v1/trajectories      — ingest observed trips into the live mining corpus
 //	GET  /v1/health            — inventory, cache/store counters, per-endpoint metrics
 //	GET  /v1/truths            — the verified-truth database (paginated)
 //	GET  /v1/landmarks         — landmarks by significance (paginated)
@@ -49,6 +50,7 @@ type Server struct {
 
 	batchMaxItems int
 	batchParallel int
+	trajMaxItems  int
 }
 
 // Option configures a Server.
@@ -72,11 +74,21 @@ func WithBatchLimits(maxItems, parallel int) Option {
 	}
 }
 
+// WithTrajBatchLimit overrides how many trips one POST /v1/trajectories call
+// may carry (default 1024). Non-positive keeps the default.
+func WithTrajBatchLimit(maxItems int) Option {
+	return func(s *Server) {
+		if maxItems > 0 {
+			s.trajMaxItems = maxItems
+		}
+	}
+}
+
 // New builds the server and its routes.
 func New(sys *core.System, opts ...Option) *Server {
 	s := &Server{
 		sys: sys, mux: http.NewServeMux(), metrics: newMetricsRegistry(),
-		batchMaxItems: 256, batchParallel: 8,
+		batchMaxItems: 256, batchParallel: 8, trajMaxItems: 1024,
 	}
 	for _, o := range opts {
 		o(s)
@@ -89,6 +101,7 @@ func New(sys *core.System, opts ...Option) *Server {
 	s.register("GET", "/sources", s.handleSources)
 	s.registerAsync()
 	s.registerV1Only("POST", "/recommend/batch", s.handleRecommendBatch)
+	s.registerV1Only("POST", "/trajectories", s.handleIngestTrajectories)
 	s.registerV1Only("POST", "/admin/snapshot", s.handleAdminSnapshot)
 	// Unmatched /v1 requests get the envelope, not ServeMux's plain-text
 	// 404/405, so code-switching clients can parse every /v1 error. This
@@ -271,6 +284,7 @@ type HealthResponse struct {
 	Landmarks  int            `json:"landmarks"`
 	Workers    int            `json:"workers"`
 	Truths     int            `json:"truths"`
+	Trips      int            `json:"trips"` // trajectory corpus size (generated + ingested)
 	RouteCache RouteCacheInfo `json:"route_cache"`
 }
 
@@ -311,6 +325,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, v1 bool) {
 		Landmarks: s.sys.Landmarks().Len(),
 		Workers:   s.sys.Pool().Len(),
 		Truths:    s.sys.TruthDB().Len(),
+		Trips:     s.sys.CorpusSize(),
 		RouteCache: RouteCacheInfo{
 			Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate(),
 			Evictions: cs.Evictions, Invalidations: cs.Invalidations,

@@ -50,7 +50,12 @@ const (
 	walName      = "wal.cpl"
 	worldName    = "world.cpw"
 
-	formatVersion = 1
+	// formatVersion is what new files are written with. Version 2 added the
+	// ingested-trajectory stream (a trips section in the snapshot, the
+	// recTrips WAL record). Version-1 files remain readable: they simply
+	// carry no trips.
+	formatVersion    = 2
+	minFormatVersion = 1
 )
 
 var (
@@ -66,6 +71,7 @@ const (
 	recTaskOpen     = byte(3)
 	recTaskDecision = byte(4)
 	recTaskClose    = byte(5)
+	recTrips        = byte(6) // format version 2: a batch of ingested trajectories
 )
 
 // Store is a disk-backed store.Store. It is safe for concurrent use.
@@ -142,19 +148,22 @@ func writeHeader(w io.Writer, magic [6]byte) error {
 	return nil
 }
 
-func checkHeader(data []byte, magic [6]byte, what string) error {
+// checkHeader validates magic and version and returns the file's format
+// version (any in [minFormatVersion, formatVersion] is readable).
+func checkHeader(data []byte, magic [6]byte, what string) (uint16, error) {
 	if len(data) < 8 {
-		return fmt.Errorf("diskstore: %s: short header (%d bytes)", what, len(data))
+		return 0, fmt.Errorf("diskstore: %s: short header (%d bytes)", what, len(data))
 	}
 	for i, b := range magic {
 		if data[i] != b {
-			return fmt.Errorf("diskstore: %s: bad magic %q", what, data[:6])
+			return 0, fmt.Errorf("diskstore: %s: bad magic %q", what, data[:6])
 		}
 	}
-	if v := binary.LittleEndian.Uint16(data[6:8]); v != formatVersion {
-		return fmt.Errorf("diskstore: %s: unsupported format version %d (want %d)", what, v, formatVersion)
+	v := binary.LittleEndian.Uint16(data[6:8])
+	if v < minFormatVersion || v > formatVersion {
+		return 0, fmt.Errorf("diskstore: %s: unsupported format version %d (want %d..%d)", what, v, minFormatVersion, formatVersion)
 	}
-	return nil
+	return v, nil
 }
 
 var errClosed = errors.New("diskstore: store is closed")
@@ -218,6 +227,25 @@ func (s *Store) AppendWorkerEvents(evs []store.WorkerEvent) error {
 	}
 	s.mu.Lock()
 	s.stats.WorkerEvents += uint64(len(evs))
+	s.mu.Unlock()
+	return nil
+}
+
+// AppendTrips implements store.TrajLog: one WAL record per batch.
+func (s *Store) AppendTrips(recs []store.TrajRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(recs)))
+	for _, t := range recs {
+		b = encodeTraj(b, t)
+	}
+	if err := s.append(recTrips, b); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.TrajAppends += uint64(len(recs))
 	s.mu.Unlock()
 	return nil
 }
@@ -304,9 +332,11 @@ func (s *Store) Load() (*store.State, error) {
 		st.OpenTasks = append(st.OpenTasks, *t)
 	}
 	st.FoldEvents()
+	st.DedupeTrips()
 	s.stats.LoadedTruths = len(st.Truths)
 	s.stats.LoadedWorkers = len(st.Workers)
 	s.stats.LoadedTasks = len(st.OpenTasks)
+	s.stats.LoadedTrips = len(st.Trips)
 	return st, nil
 }
 
@@ -314,7 +344,7 @@ func (s *Store) Load() (*store.State, error) {
 // number of intact records, the byte length of the valid prefix (header
 // included), and whether a torn tail was skipped.
 func (s *Store) replayWAL(data []byte, st *store.State, open map[int64]*store.TaskRecord) (records uint64, validLen int64, truncated bool, err error) {
-	if err := checkHeader(data, walMagic, "wal"); err != nil {
+	if _, err := checkHeader(data, walMagic, "wal"); err != nil {
 		// A WAL too short to hold its header is tail damage from a crash at
 		// creation; anything else (wrong magic/version) is a real error.
 		if len(data) < 8 {
@@ -366,6 +396,14 @@ func applyRecord(typ byte, payload []byte, st *store.State, open map[int64]*stor
 				Worker: r.i32(), Landmark: r.i32(), Correct: r.bool(),
 				RewardBalance: r.f64(), TallyCorrect: r.i32(), TallyWrong: r.i32(),
 			})
+		}
+	case recTrips:
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			t := decodeTraj(r)
+			if r.err == nil {
+				st.Trips = append(st.Trips, t)
+			}
 		}
 	case recTaskOpen:
 		t := decodeTask(r)
@@ -502,7 +540,7 @@ func (s *Store) VerifyWorld(fingerprint uint64) error {
 	case err != nil:
 		return fmt.Errorf("diskstore: read world file: %w", err)
 	}
-	if err := checkHeader(data, worldMagic, "world file"); err != nil {
+	if _, err := checkHeader(data, worldMagic, "world file"); err != nil {
 		return err
 	}
 	if len(data) < 20 {

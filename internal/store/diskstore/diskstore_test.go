@@ -2,6 +2,8 @@ package diskstore
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -445,5 +447,112 @@ func BenchmarkLoad10kTruths(b *testing.B) {
 			b.Fatalf("load: %v (%d truths)", err, len(st.Truths))
 		}
 		s.Close()
+	}
+}
+
+// testTrip builds a deterministic TrajRecord.
+func testTrip(seq int) store.TrajRecord {
+	return store.TrajRecord{
+		Seq: int64(seq), Driver: int32(seq % 5), DepartMin: 500 + float64(seq),
+		Nodes: []int32{int32(seq), int32(seq + 1), int32(seq + 2)},
+	}
+}
+
+// TestTrajRoundTrip: ingested-trip batches survive WAL replay, snapshot
+// compaction, and — crucially — the snapshot-plus-stale-WAL overlap, where
+// the Seq-keyed dedupe must keep each trip exactly once.
+func TestTrajRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.AppendTrips([]store.TrajRecord{testTrip(0), testTrip(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTrips([]store.TrajRecord{testTrip(2)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trips) != 3 {
+		t.Fatalf("loaded %d trips, want 3", len(st.Trips))
+	}
+	for i, tr := range st.Trips {
+		if !reflect.DeepEqual(tr, testTrip(i)) {
+			t.Fatalf("trip %d = %+v", i, tr)
+		}
+	}
+	// Snapshot with the trips, then append an overlapping record (as if a
+	// crash hit between the snapshot rename and the WAL reset).
+	if err := s2.Snapshot(func() *store.State {
+		return &store.State{Trips: []store.TrajRecord{testTrip(0), testTrip(1), testTrip(2)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendTrips([]store.TrajRecord{testTrip(2), testTrip(3)}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3 := open(t, dir)
+	defer s3.Close()
+	st, err = s3.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trips) != 4 {
+		t.Fatalf("after overlap replay: %d trips, want 4 (dedupe by Seq)", len(st.Trips))
+	}
+	for i, tr := range st.Trips {
+		if tr.Seq != int64(i) {
+			t.Fatalf("trip order wrong: %+v", st.Trips)
+		}
+	}
+	if got := s3.Stats().LoadedTrips; got != 4 {
+		t.Fatalf("stats loaded_trips = %d, want 4", got)
+	}
+}
+
+// TestFormatV1SnapshotStillLoads: a snapshot written with format version 1
+// (no trips section) must load under the version-2 reader.
+func TestFormatV1SnapshotStillLoads(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Snapshot(func() *store.State {
+		return &store.State{NextTaskID: 9, Truths: []store.TruthRecord{testTruth(0)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Rewrite the snapshot as a v1 file: header version 1, payload cut
+	// before the trips section, CRC recomputed.
+	path := filepath.Join(dir, "snapshot.cps")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := data[8 : len(data)-4]
+	payload = payload[:len(payload)-4] // drop the (empty) trips count
+	v1 := make([]byte, 0, 8+len(payload)+4)
+	v1 = append(v1, data[:6]...)
+	v1 = binary.LittleEndian.AppendUint16(v1, 1)
+	v1 = append(v1, payload...)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.ChecksumIEEE(payload))
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.NextTaskID != 9 || len(st.Truths) != 1 || len(st.Trips) != 0 {
+		t.Fatalf("v1 snapshot loaded wrong: %+v", st)
 	}
 }

@@ -102,6 +102,27 @@ func decodeTruth(r *reader) store.TruthRecord {
 	return t
 }
 
+// encodeTraj appends one TrajRecord's wire form to b.
+func encodeTraj(b []byte, t store.TrajRecord) []byte {
+	b = putI64(b, t.Seq)
+	b = putI32(b, t.Driver)
+	b = putF64(b, t.DepartMin)
+	b = putU32(b, uint32(len(t.Nodes)))
+	for _, n := range t.Nodes {
+		b = putI32(b, n)
+	}
+	return b
+}
+
+func decodeTraj(r *reader) store.TrajRecord {
+	t := store.TrajRecord{Seq: r.i64(), Driver: r.i32(), DepartMin: r.f64()}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		t.Nodes = append(t.Nodes, r.i32())
+	}
+	return t
+}
+
 // encodeTask appends a TaskRecord's wire form to b.
 func encodeTask(b []byte, t store.TaskRecord) []byte {
 	b = putI64(b, t.ID)
@@ -159,12 +180,20 @@ func encodeSnapshot(st *store.State) []byte {
 	for _, t := range st.OpenTasks {
 		b = encodeTask(b, t)
 	}
+	// Ingested trajectories: the format-2 addition. Format-1 snapshots end
+	// after the open tasks; the decoder keys off the header version.
+	b = putU32(b, uint32(len(st.Trips)))
+	for _, t := range st.Trips {
+		b = encodeTraj(b, t)
+	}
 	return b
 }
 
-// decodeSnapshot validates header + CRC and fills st/open.
+// decodeSnapshot validates header + CRC and fills st/open. Format version 1
+// (pre-trajectory-ingestion) is still read: it simply carries no trips.
 func decodeSnapshot(data []byte, st *store.State, open map[int64]*store.TaskRecord) error {
-	if err := checkHeader(data, snapshotMagic, "snapshot"); err != nil {
+	version, err := checkHeader(data, snapshotMagic, "snapshot")
+	if err != nil {
 		return err
 	}
 	if len(data) < 12 {
@@ -197,6 +226,15 @@ func decodeSnapshot(data []byte, st *store.State, open map[int64]*store.TaskReco
 		t := decodeTask(r)
 		if r.err == nil {
 			open[t.ID] = &t
+		}
+	}
+	if version >= 2 {
+		np := int(r.u32())
+		for i := 0; i < np && r.err == nil; i++ {
+			t := decodeTraj(r)
+			if r.err == nil {
+				st.Trips = append(st.Trips, t)
+			}
 		}
 	}
 	if r.err != nil {

@@ -25,6 +25,7 @@ type Store struct {
 	// The in-memory "WAL": everything appended since the last snapshot.
 	truths    []store.TruthRecord
 	events    []store.WorkerEvent
+	trips     []store.TrajRecord
 	taskOpen  []store.TaskRecord
 	taskDecis []taskDecision
 	taskClose []int64
@@ -71,6 +72,25 @@ func (s *Store) AppendWorkerEvents(evs []store.WorkerEvent) error {
 	}
 	s.events = append(s.events, evs...)
 	s.stats.WorkerEvents += uint64(len(evs))
+	s.stats.WALRecords++
+	return nil
+}
+
+// AppendTrips implements store.TrajLog.
+func (s *Store) AppendTrips(recs []store.TrajRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	for _, r := range recs {
+		r.Nodes = append([]int32(nil), r.Nodes...)
+		s.trips = append(s.trips, r)
+	}
+	s.stats.TrajAppends += uint64(len(recs))
 	s.stats.WALRecords++
 	return nil
 }
@@ -133,6 +153,7 @@ func (s *Store) Load() (*store.State, error) {
 		st.NextTaskID = s.snap.NextTaskID
 		st.Truths = append(st.Truths, s.snap.Truths...)
 		st.Workers = cloneWorkers(s.snap.Workers)
+		st.Trips = append(st.Trips, s.snap.Trips...)
 		for _, t := range s.snap.OpenTasks {
 			tc := cloneTask(t)
 			open[t.ID] = &tc
@@ -140,6 +161,7 @@ func (s *Store) Load() (*store.State, error) {
 	}
 	st.Truths = append(st.Truths, s.truths...)
 	st.WorkerEvents = append(st.WorkerEvents, s.events...)
+	st.Trips = append(st.Trips, s.trips...)
 	for _, t := range s.taskOpen {
 		tc := cloneTask(t)
 		open[t.ID] = &tc
@@ -159,9 +181,11 @@ func (s *Store) Load() (*store.State, error) {
 		st.OpenTasks = append(st.OpenTasks, *t)
 	}
 	st.FoldEvents() // deterministic ordering (events list stays empty for mem)
+	st.DedupeTrips()
 	s.stats.LoadedTruths = len(st.Truths)
 	s.stats.LoadedWorkers = len(st.Workers)
 	s.stats.LoadedTasks = len(st.OpenTasks)
+	s.stats.LoadedTrips = len(st.Trips)
 	return st, nil
 }
 
@@ -175,8 +199,9 @@ func (s *Store) Snapshot(capture func() *store.State) error {
 	}
 	st := capture()
 	st.FoldEvents()
+	st.DedupeTrips()
 	s.snap = st
-	s.truths, s.events = nil, nil
+	s.truths, s.events, s.trips = nil, nil, nil
 	s.taskOpen, s.taskDecis, s.taskClose = nil, nil, nil
 	s.stats.WALRecords = 0
 	s.stats.Snapshots++

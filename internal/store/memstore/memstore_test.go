@@ -71,3 +71,42 @@ func TestReplayContract(t *testing.T) {
 		t.Fatal("append after Close succeeded")
 	}
 }
+
+// TestTrajReplayContract mirrors the diskstore trip semantics: batches
+// replay in Seq order, survive snapshot compaction, and overlapping records
+// dedupe by Seq.
+func TestTrajReplayContract(t *testing.T) {
+	s := New()
+	trip := func(seq int) store.TrajRecord {
+		return store.TrajRecord{Seq: int64(seq), Driver: 2, DepartMin: 500, Nodes: []int32{0, 1}}
+	}
+	if err := s.AppendTrips([]store.TrajRecord{trip(0), trip(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Load()
+	if err != nil || len(st.Trips) != 2 {
+		t.Fatalf("load: %v, trips %+v", err, st.Trips)
+	}
+	if err := s.Snapshot(func() *store.State { return st }); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping re-append (snapshot already folded trip 1) plus a new one.
+	if err := s.AppendTrips([]store.TrajRecord{trip(1), trip(2)}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Trips) != 3 {
+		t.Fatalf("trips after overlap = %+v, want 3 deduped", st2.Trips)
+	}
+	for i, tr := range st2.Trips {
+		if tr.Seq != int64(i) {
+			t.Fatalf("trip order = %+v", st2.Trips)
+		}
+	}
+	if got := s.Stats(); got.LoadedTrips != 3 || got.TrajAppends != 4 {
+		t.Fatalf("stats = %+v", got)
+	}
+}

@@ -34,6 +34,19 @@ type TruthRecord struct {
 	StoredAtMin float64 // simulated departure time, minutes since Monday 00:00
 }
 
+// TrajRecord is the persisted form of one ingested trajectory. Seq is the
+// trip's position in the ingestion stream (0-based, assigned by the corpus
+// under its write lock): replay orders records by Seq and drops duplicates,
+// so a record that survives in the WAL after a concurrent snapshot already
+// captured it re-applies harmlessly — the same idempotence contract as every
+// other record type.
+type TrajRecord struct {
+	Seq       int64
+	Driver    int32
+	DepartMin float64 // simulated departure time, minutes since Monday 00:00
+	Nodes     []int32 // the map-matched route's node sequence
+}
+
 // WorkerEvent is one committed mutation of a worker's mutable state: an
 // answer recorded against a landmark together with the reward it earned.
 // Events carry the *absolute* post-event state (reward balance and the
@@ -93,6 +106,9 @@ type State struct {
 	Workers      []WorkerState
 	WorkerEvents []WorkerEvent
 	OpenTasks    []TaskRecord
+	// Trips holds the ingested trajectory stream. On Load the order is
+	// snapshot-then-WAL; consumers sort by Seq and dedupe (see TrajRecord).
+	Trips []TrajRecord
 }
 
 // FoldEvents merges WorkerEvents into Workers and clears the event list,
@@ -155,6 +171,25 @@ func (s *State) sortWorkers() {
 		sort.Slice(h, func(a, b int) bool { return h[a].Landmark < h[b].Landmark })
 	}
 	sort.Slice(s.OpenTasks, func(i, j int) bool { return s.OpenTasks[i].ID < s.OpenTasks[j].ID })
+	sort.SliceStable(s.Trips, func(i, j int) bool { return s.Trips[i].Seq < s.Trips[j].Seq })
+}
+
+// DedupeTrips sorts Trips by Seq and drops duplicate sequence numbers
+// (keeping the first occurrence — snapshot copies precede re-replayed WAL
+// copies of the same trip). Backends call it on Load so consumers always see
+// each ingested trip exactly once, in ingestion order.
+func (s *State) DedupeTrips() {
+	if len(s.Trips) == 0 {
+		return
+	}
+	sort.SliceStable(s.Trips, func(i, j int) bool { return s.Trips[i].Seq < s.Trips[j].Seq })
+	out := s.Trips[:1]
+	for _, t := range s.Trips[1:] {
+		if t.Seq != out[len(out)-1].Seq {
+			out = append(out, t)
+		}
+	}
+	s.Trips = out
 }
 
 // TruthLog persists truth commits.
@@ -169,6 +204,13 @@ type WorkerLog interface {
 	// AppendWorkerEvents logs a batch of committed answer/reward events
 	// (typically one crowd question's worth).
 	AppendWorkerEvents([]WorkerEvent) error
+}
+
+// TrajLog persists the ingested-trajectory stream.
+type TrajLog interface {
+	// AppendTrips logs a batch of ingested trajectories (already validated
+	// by the core). Implementations must not call back into the core.
+	AppendTrips([]TrajRecord) error
 }
 
 // TaskLog persists the asynchronous task lifecycle.
@@ -196,6 +238,7 @@ type Store interface {
 	TruthLog
 	WorkerLog
 	TaskLog
+	TrajLog
 
 	// Load reads the persisted state, folded (FoldEvents already applied, so
 	// WorkerEvents is empty and Workers carry the final absolute values). It
@@ -252,6 +295,10 @@ func (d *discard) AppendWorkerEvents(evs []WorkerEvent) error {
 	return d.count(func(s *Stats) { s.WorkerEvents += uint64(len(evs)) })
 }
 
+func (d *discard) AppendTrips(recs []TrajRecord) error {
+	return d.count(func(s *Stats) { s.TrajAppends += uint64(len(recs)) })
+}
+
 func (d *discard) AppendTaskOpen(TaskRecord) error {
 	return d.count(func(s *Stats) { s.TaskEvents++ })
 }
@@ -286,12 +333,14 @@ type Stats struct {
 	TruthAppends  uint64 `json:"truth_appends"`
 	WorkerEvents  uint64 `json:"worker_events"`
 	TaskEvents    uint64 `json:"task_events"`
+	TrajAppends   uint64 `json:"traj_appends"` // ingested trips logged
 	Snapshots     uint64 `json:"snapshots"`
 	WALRecords    uint64 `json:"wal_records"` // records currently in the live log
 	WALBytes      int64  `json:"wal_bytes"`
 	LoadedTruths  int    `json:"loaded_truths"`
 	LoadedWorkers int    `json:"loaded_workers"`
 	LoadedTasks   int    `json:"loaded_tasks"`
+	LoadedTrips   int    `json:"loaded_trips"`
 	// Truncated reports that Load hit a torn or corrupt record tail in the
 	// WAL and recovered the valid prefix (expected after a crash mid-append).
 	Truncated bool `json:"wal_truncated,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"crowdplanner/internal/geo"
 	"crowdplanner/internal/roadnet"
@@ -18,10 +19,38 @@ type OD struct {
 
 // Dataset is a corpus of historical trajectories over one road network,
 // the substitute for the paper's "large-scale real trajectory dataset".
+// Unlike the paper's frozen dataset it can grow at runtime: IngestTrips
+// appends to the corpus and keeps the mining indexes (see index.go) current,
+// concurrently with miner queries.
+//
+// Direct access to the Trips slice is safe only before serving starts (or on
+// datasets that never ingest); concurrent readers go through NumTrips,
+// ForEachTrip, TripsBetween and the index query methods, which take the
+// dataset's lock.
 type Dataset struct {
 	Graph   *roadnet.Graph
 	Drivers []*Driver
 	Trips   []Trajectory
+
+	// ODShortfall counts requested ODs that could not be materialized under
+	// the MinODDistM constraint (see RandomODs); the trip budget is
+	// redistributed over the realized ODs, so the corpus size still matches
+	// NumODs*TripsPerOD.
+	ODShortfall int
+
+	mu     sync.RWMutex
+	idx    *miningIndex
+	sealed bool
+	base   int // trips[:base] = generated world; trips[base:] = ingested
+	// Ingestion-stream bookkeeping: ingSeqs[i] is the durable sequence
+	// number of trips[base+i], and nextSeq the number the next ingested trip
+	// gets. Seqs are NOT derivable from slice position — a crash can lose
+	// the tail of the persisted stream (an absorbed append failure), after
+	// which replay leaves gaps that live ingestion must not re-fill, or a
+	// stale Seq would collide with a retained record and be dropped by the
+	// replay dedupe.
+	ingSeqs []int64
+	nextSeq int64
 }
 
 // DatasetConfig controls synthetic corpus generation.
@@ -48,9 +77,12 @@ func DefaultDatasetConfig() DatasetConfig {
 	}
 }
 
-// RandomODs draws distinct OD node pairs at least minDist apart.
-func RandomODs(g *roadnet.Graph, n int, minDist float64, rng *rand.Rand) []OD {
-	var ods []OD
+// RandomODs draws distinct OD node pairs at least minDist apart. The graph
+// may be too small or too dense to satisfy the constraint n times before the
+// attempt cap trips; rather than silently under-delivering, the shortfall
+// (n minus the ODs actually drawn) is returned so callers can account for
+// the missing pairs.
+func RandomODs(g *roadnet.Graph, n int, minDist float64, rng *rand.Rand) (ods []OD, shortfall int) {
 	seen := map[OD]bool{}
 	attempts := 0
 	for len(ods) < n && attempts < n*200 {
@@ -70,7 +102,7 @@ func RandomODs(g *roadnet.Graph, n int, minDist float64, rng *rand.Rand) []OD {
 		seen[od] = true
 		ods = append(ods, od)
 	}
-	return ods
+	return ods, n - len(ods)
 }
 
 func nodeDist(g *roadnet.Graph, a, b roadnet.NodeID) float64 {
@@ -109,10 +141,18 @@ func randomDepart(rng *rand.Rand, peakBias float64) routing.SimTime {
 // and map-matched back onto the network.
 func GenerateDataset(g *roadnet.Graph, drivers []*Driver, cfg DatasetConfig) *Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ods := RandomODs(g, cfg.NumODs, cfg.MinODDistM, rng)
-	ds := &Dataset{Graph: g, Drivers: drivers}
+	ods, shortfall := RandomODs(g, cfg.NumODs, cfg.MinODDistM, rng)
+	ds := &Dataset{Graph: g, Drivers: drivers, ODShortfall: shortfall}
+	if len(ods) == 0 {
+		ds.sealed, ds.base = true, 0
+		return ds
+	}
 
-	// Zipf-like trip counts: OD i gets weight 1/(i+1)^skew.
+	// Zipf-like trip counts: OD i gets weight 1/(i+1)^skew. The full trip
+	// budget (NumODs*TripsPerOD, even when RandomODs under-delivered ODs) is
+	// apportioned by largest remainder, so the allocations sum to the budget
+	// exactly — per-OD rounding used to drift the realized corpus away from
+	// the configured size.
 	weights := make([]float64, len(ods))
 	var wsum float64
 	for i := range ods {
@@ -123,12 +163,9 @@ func GenerateDataset(g *roadnet.Graph, drivers []*Driver, cfg DatasetConfig) *Da
 		weights[i] = w
 		wsum += w
 	}
-	totalTrips := cfg.TripsPerOD * len(ods)
-	for i, od := range ods {
-		nTrips := int(math.Round(float64(totalTrips) * weights[i] / wsum))
-		if nTrips < 1 {
-			nTrips = 1
-		}
+	totalTrips := cfg.TripsPerOD * cfg.NumODs
+	for i, nTrips := range apportion(totalTrips, weights, wsum) {
+		od := ods[i]
 		for k := 0; k < nTrips; k++ {
 			d := drivers[rng.Intn(len(drivers))]
 			depart := randomDepart(rng, cfg.PeakBias)
@@ -144,12 +181,51 @@ func GenerateDataset(g *roadnet.Graph, drivers []*Driver, cfg DatasetConfig) *Da
 			ds.Trips = append(ds.Trips, tr)
 		}
 	}
+	ds.sealed, ds.base = true, len(ds.Trips)
 	return ds
 }
 
+// apportion splits total into integer shares proportional to weights using
+// the largest-remainder method: floors first, then the leftover units go to
+// the largest fractional remainders (ties to the lower index, so the split
+// is deterministic). The shares always sum to total.
+func apportion(total int, weights []float64, wsum float64) []int {
+	shares := make([]int, len(weights))
+	type frac struct {
+		i int
+		r float64
+	}
+	rem := make([]frac, 0, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / wsum
+		shares[i] = int(math.Floor(exact))
+		assigned += shares[i]
+		rem = append(rem, frac{i: i, r: exact - math.Floor(exact)})
+	}
+	sort.Slice(rem, func(a, b int) bool {
+		if rem[a].r != rem[b].r {
+			return rem[a].r > rem[b].r
+		}
+		return rem[a].i < rem[b].i
+	})
+	for k := 0; k < total-assigned; k++ {
+		shares[rem[k%len(rem)].i]++
+	}
+	return shares
+}
+
 // TripsBetween returns the trips whose matched route starts within radius of
-// from and ends within radius of to. Radius 0 requires exact endpoints.
+// from and ends within radius of to, in corpus order. Radius 0 requires
+// exact endpoints. With the mining index enabled only the endpoint buckets
+// overlapping the query radius are visited; the result is identical to the
+// full scan either way.
 func (ds *Dataset) TripsBetween(from, to roadnet.NodeID, radius float64) []Trajectory {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if ds.idx != nil {
+		return ds.tripsBetweenIndexed(from, to, radius)
+	}
 	var out []Trajectory
 	fp := ds.Graph.Node(from).Pt
 	tp := ds.Graph.Node(to).Pt
@@ -178,10 +254,16 @@ func distOK(a, b geo.Point, radius float64) bool {
 // choice (the mode) wins. sampleDrivers caps the poll size; 0 polls everyone.
 // This is the measurable stand-in for "the route most experienced drivers
 // prefer" that all recommenders are scored against.
+//
+// The capped poll is a deterministic subsample keyed on driver IDs (see
+// sampleByID), not a prefix of the Drivers slice: drivers[:sampleDrivers]
+// always polled the same fixed drivers, biasing the "population" mode toward
+// whoever happened to be generated first and making the verdict depend on
+// slice order.
 func (ds *Dataset) GroundTruth(from, to roadnet.NodeID, t routing.SimTime, sampleDrivers int) (roadnet.Route, error) {
 	drivers := ds.Drivers
 	if sampleDrivers > 0 && sampleDrivers < len(drivers) {
-		drivers = drivers[:sampleDrivers]
+		drivers = sampleByID(drivers, sampleDrivers)
 	}
 	type bucket struct {
 		route roadnet.Route
@@ -215,4 +297,34 @@ func (ds *Dataset) GroundTruth(from, to roadnet.NodeID, t routing.SimTime, sampl
 		}
 	}
 	return best.route, nil
+}
+
+// sampleByID picks k drivers deterministically by ranking them on a hash of
+// their ID (splitmix64 finalizer over a fixed salt). The selection is a
+// function of the IDs alone — shuffling the Drivers slice, or regenerating
+// the population in a different order, polls the same drivers — and it
+// spreads the poll across the whole population instead of a fixed prefix.
+func sampleByID(drivers []*Driver, k int) []*Driver {
+	type scored struct {
+		h uint64
+		d *Driver
+	}
+	all := make([]scored, len(drivers))
+	for i, d := range drivers {
+		z := uint64(d.ID) + 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		all[i] = scored{h: z ^ (z >> 31), d: d}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].h != all[b].h {
+			return all[a].h < all[b].h
+		}
+		return all[a].d.ID < all[b].d.ID
+	})
+	out := make([]*Driver, k)
+	for i := range out {
+		out[i] = all[i].d
+	}
+	return out
 }

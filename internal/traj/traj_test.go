@@ -204,9 +204,9 @@ func TestMapMatchEmpty(t *testing.T) {
 func TestRandomODs(t *testing.T) {
 	g := testGraph()
 	rng := rand.New(rand.NewSource(2))
-	ods := RandomODs(g, 30, 1000, rng)
-	if len(ods) != 30 {
-		t.Fatalf("got %d ODs", len(ods))
+	ods, shortfall := RandomODs(g, 30, 1000, rng)
+	if len(ods) != 30 || shortfall != 0 {
+		t.Fatalf("got %d ODs (shortfall %d)", len(ods), shortfall)
 	}
 	seen := map[OD]bool{}
 	for _, od := range ods {
