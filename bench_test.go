@@ -127,6 +127,20 @@ func BenchmarkDijkstra(b *testing.B) {
 	}
 }
 
+func BenchmarkAStar(b *testing.B) {
+	// Goal-directed variant of BenchmarkDijkstra: same ODs, same cost,
+	// heuristic derived from TravelTimeCost.MinCostPerMeter(). This is what
+	// the serving path (proposeRoutes, the oracle) now runs.
+	scn := scenario(b)
+	n := roadnet.NodeID(scn.Graph.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := roadnet.NodeID(i) % n
+		dst := (src + n/2) % n
+		_, _, _ = routing.AStar(scn.Graph, src, dst, routing.TravelTimeCost, routing.At(0, 8, 0))
+	}
+}
+
 func BenchmarkKShortest(b *testing.B) {
 	scn := scenario(b)
 	n := roadnet.NodeID(scn.Graph.NumNodes())

@@ -10,6 +10,7 @@
 //	cpbench -parallel 8         # throughput mode: hammer Recommend from 8 goroutines
 //	cpbench -parallel 1 -requests 5000 -cold
 //	cpbench -ingest 100000 -ingest-batch 500  # trajectory-ingestion throughput
+//	cpbench -routing 5000 -routing-grid 16    # routing-engine mode: Dijkstra/A*/k-shortest
 //	cpbench -exp E1 -json BENCH_e1.json       # machine-readable results
 //	cpbench -parallel 8 -json BENCH_tput.json
 //
@@ -23,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
@@ -32,6 +34,8 @@ import (
 
 	"crowdplanner/internal/core"
 	"crowdplanner/internal/experiments"
+	"crowdplanner/internal/roadnet"
+	"crowdplanner/internal/routing"
 	"crowdplanner/internal/traj"
 )
 
@@ -56,6 +60,9 @@ func main() {
 		nocache     = flag.Bool("nocache", false, "throughput mode: disable the route cache as well")
 		ingest      = flag.Int("ingest", 0, "ingestion mode: stream N synthetic trips through System.IngestTrips and report trips/sec")
 		ingestBatch = flag.Int("ingest-batch", 100, "ingestion mode: trips per IngestTrips batch")
+		routingN    = flag.Int("routing", 0, "routing mode: run N random-OD queries each through Dijkstra, A* and k-shortest")
+		routingGrid = flag.Int("routing-grid", 16, "routing mode: city grid size (cols = rows)")
+		routingK    = flag.Int("routing-k", 4, "routing mode: k for the k-shortest sweep")
 		jsonOut     = flag.String("json", "", "write machine-readable results (name, ns/op, allocs) to this file")
 	)
 	flag.Parse()
@@ -67,7 +74,13 @@ func main() {
 		return
 	}
 	var results []BenchResult
-	if *ingest > 0 {
+	if *routingN > 0 {
+		res, err := runRouting(*routingN, *routingGrid, *routingK)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res...)
+	} else if *ingest > 0 {
 		res, err := runIngest(*ingest, *ingestBatch)
 		if err != nil {
 			fatal(err)
@@ -152,6 +165,81 @@ func writeResults(path string, results []BenchResult) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runRouting measures the routing engine in isolation: `queries` random OD
+// pairs on a grid-by-grid generated city, each swept through plain Dijkstra,
+// goal-directed A* (both under the time-dependent travel-time cost at the
+// morning peak) and k-shortest (under distance cost, the heavier Yen
+// workload). One result per algorithm participates in -json, so successive
+// snapshots (BENCH_routing.json) track the engine's perf trajectory.
+func runRouting(queries, grid, k int) ([]BenchResult, error) {
+	if grid < 2 {
+		grid = 2
+	}
+	gcfg := roadnet.DefaultGenConfig()
+	gcfg.Cols, gcfg.Rows = grid, grid
+	g := roadnet.Generate(gcfg)
+	fmt.Printf("routing mode: %dx%d city (%d nodes, %d edges), %d queries per algorithm\n",
+		grid, grid, g.NumNodes(), g.NumEdges(), queries)
+
+	// Deterministic OD sweep, reachability-checked so every algorithm
+	// prices the same work.
+	rng := rand.New(rand.NewSource(17))
+	type od struct{ src, dst roadnet.NodeID }
+	ods := make([]od, 0, queries)
+	for len(ods) < queries {
+		src := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		dst := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		if _, _, err := routing.ShortestPath(g, src, dst, routing.DistanceCost, 0); err != nil {
+			continue
+		}
+		ods = append(ods, od{src, dst})
+	}
+	depart := routing.At(0, 8, 0)
+	// Counters are process-lifetime; report only this run's sweeps, not the
+	// reachability prechecks above.
+	base := routing.CounterSnapshot()
+
+	var results []BenchResult
+	run := func(name string, f func(src, dst roadnet.NodeID)) {
+		res := measure("routing/"+name, queries, func() {
+			for _, o := range ods {
+				f(o.src, o.dst)
+			}
+		})
+		rate := 1e9 / res.NsPerOp
+		res.Extra = map[string]float64{
+			"queries_per_sec": rate,
+			"grid":            float64(grid),
+			"nodes":           float64(g.NumNodes()),
+			"edges":           float64(g.NumEdges()),
+		}
+		if name == "kshortest" {
+			res.Extra["k"] = float64(k)
+		}
+		fmt.Printf("  %-10s %12.0f ns/op %10.0f queries/s %8.1f allocs/op\n",
+			name, res.NsPerOp, rate, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	run("dijkstra", func(src, dst roadnet.NodeID) {
+		_, _, _ = routing.ShortestPath(g, src, dst, routing.TravelTimeCost, depart)
+	})
+	run("astar", func(src, dst roadnet.NodeID) {
+		_, _, _ = routing.AStar(g, src, dst, routing.TravelTimeCost, depart)
+	})
+	run("kshortest", func(src, dst roadnet.NodeID) {
+		_, _, _ = routing.KShortest(g, src, dst, k, routing.DistanceCost, 0)
+	})
+
+	rs := routing.CounterSnapshot()
+	fmt.Printf("  engine     %d searches (%d A*), %d heap pushes, pool %d hits / %d misses\n",
+		rs.Searches-base.Searches, rs.AStarSearches-base.AStarSearches,
+		rs.HeapPushes-base.HeapPushes, rs.PoolHits-base.PoolHits, rs.PoolMisses-base.PoolMisses)
+	return results, nil
 }
 
 // runIngest measures trajectory-ingestion throughput: total synthetic trips

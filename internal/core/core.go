@@ -469,13 +469,16 @@ func (s *System) proposeRoutes(ctx context.Context, req Request) []proposal {
 		}()
 	}
 	run(0, func() []proposal {
-		if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.DistanceCost, req.Depart); err == nil {
+		// Goal-directed: the cost functions carry admissible per-meter
+		// lower bounds, so A* returns the same route as plain Dijkstra
+		// while settling a fraction of the graph.
+		if r, _, err := routing.AStar(s.graph, req.From, req.To, routing.DistanceCost, req.Depart); err == nil {
 			return []proposal{{"ws-shortest", r}}
 		}
 		return nil
 	})
 	run(1, func() []proposal {
-		if r, _, err := routing.ShortestPath(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart); err == nil {
+		if r, _, err := routing.AStar(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart); err == nil {
 			return []proposal{{"ws-fastest", r}}
 		}
 		return nil
@@ -518,6 +521,12 @@ func (s *System) proposeRoutes(ctx context.Context, req Request) []proposal {
 // RouteCacheStats reports the candidate-cache counters (all zero when the
 // cache is disabled). Surfaced on GET /api/health.
 func (s *System) RouteCacheStats() routecache.Stats { return s.routes.Stats() }
+
+// RoutingStats reports the search engine's counters (searches run, heap
+// pushes, pooled-workspace hits). The counters are process-wide — the
+// routing engine's workspace pool is shared by every System in the process —
+// and are surfaced under the `routing` section of GET /v1/health.
+func (s *System) RoutingStats() routing.Stats { return routing.CounterSnapshot() }
 
 // claimWorkers increments Outstanding for the selected workers, re-checking
 // the quota condition under the write lock. TopKEligible checks the quota

@@ -105,12 +105,12 @@ func (m *MFP) shortestAtLeast(g *roadnet.Graph, freq map[traj.Transition]int, mi
 			allowed[k] = true
 		}
 	}
-	cost := func(e *roadnet.Edge, _ routing.SimTime) float64 {
+	cost := routing.CostFn(func(e *roadnet.Edge, _ routing.SimTime) float64 {
 		if !allowed[traj.Transition{From: e.From, To: e.To}] {
 			return math.Inf(1)
 		}
 		return e.Length
-	}
+	})
 	// routing.ShortestPath treats +Inf edges as unusable because any path
 	// through them has infinite cost and the destination check rejects it.
 	r, total, err := routing.ShortestPath(g, from, to, cost, 0)

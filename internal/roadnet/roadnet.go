@@ -103,15 +103,22 @@ type Graph struct {
 	in    [][]EdgeID // in[n] lists edges entering node n
 
 	index *geo.Grid // nearest-node index, built lazily by EnsureIndex
+
+	// Heuristic bounds tracked at construction, so goal-directed search
+	// stays admissible for any graph however it was built (generator,
+	// serialization, embedder code). See MaxSpeedKmh and MinLengthRatio.
+	maxSpeedKmh float64
+	minLenRatio float64
 }
 
 // NewGraph returns an empty graph with capacity hints.
 func NewGraph(nodeHint, edgeHint int) *Graph {
 	return &Graph{
-		nodes: make([]Node, 0, nodeHint),
-		edges: make([]Edge, 0, edgeHint),
-		out:   make([][]EdgeID, 0, nodeHint),
-		in:    make([][]EdgeID, 0, nodeHint),
+		nodes:       make([]Node, 0, nodeHint),
+		edges:       make([]Edge, 0, edgeHint),
+		out:         make([][]EdgeID, 0, nodeHint),
+		in:          make([][]EdgeID, 0, nodeHint),
+		minLenRatio: 1,
 	}
 }
 
@@ -128,11 +135,20 @@ func (g *Graph) AddNode(p geo.Point) NodeID {
 // AddEdge appends a directed edge from -> to with the given attributes and
 // returns its ID. Length 0 means "compute from node coordinates".
 func (g *Graph) AddEdge(from, to NodeID, class RoadClass, speedKmh float64, lights int, length float64) EdgeID {
+	straight := geo.Dist(g.nodes[from].Pt, g.nodes[to].Pt)
 	if length <= 0 {
-		length = geo.Dist(g.nodes[from].Pt, g.nodes[to].Pt)
+		length = straight
 	}
 	if speedKmh <= 0 {
 		speedKmh = class.DefaultSpeedKmh()
+	}
+	if speedKmh > g.maxSpeedKmh {
+		g.maxSpeedKmh = speedKmh
+	}
+	if straight > 0 {
+		if r := length / straight; r < g.minLenRatio {
+			g.minLenRatio = r
+		}
 	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{
@@ -151,6 +167,21 @@ func (g *Graph) AddRoad(a, b NodeID, class RoadClass, speedKmh float64, lights i
 	ba = g.AddEdge(b, a, class, speedKmh, lights, 0)
 	return ab, ba
 }
+
+// MaxSpeedKmh returns the highest speed limit among the graph's edges (0
+// for a graph with no edges). Goal-directed search derives travel-time
+// heuristic bounds from it, so the heuristic stays admissible even when
+// edges exceed the class-default speeds.
+func (g *Graph) MaxSpeedKmh() float64 { return g.maxSpeedKmh }
+
+// MinLengthRatio returns the minimum, over all edges, of edge length divided
+// by the straight-line distance between its endpoints, capped at 1 (1 for a
+// graph with no edges; 0 for a zero-value Graph not built via NewGraph,
+// which disables distance heuristics rather than risking inadmissibility).
+// Edges are normally at least as long as straight-line (curvy roads), but
+// AddEdge accepts arbitrary lengths; scaling heuristics by this ratio keeps
+// them admissible when an edge is shorter than the crow flies.
+func (g *Graph) MinLengthRatio() float64 { return g.minLenRatio }
 
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }

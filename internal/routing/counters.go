@@ -1,0 +1,44 @@
+package routing
+
+import "sync/atomic"
+
+// Stats is a snapshot of the engine's lifetime counters, surfaced under the
+// `routing` section of GET /v1/health (mirroring the route-cache stats).
+type Stats struct {
+	// Searches counts single-pair searches run, including Yen spur
+	// searches; AStarSearches is the goal-directed subset.
+	Searches      uint64 `json:"searches"`
+	AStarSearches uint64 `json:"astar_searches"`
+	// KShortestCalls counts KShortest invocations (each runs many spurs).
+	KShortestCalls uint64 `json:"kshortest_calls"`
+	// HeapPushes counts priority-queue pushes across all searches — the
+	// engine's unit of raw work.
+	HeapPushes uint64 `json:"heap_pushes"`
+	// PoolHits counts searches served by a recycled, already-sized
+	// workspace (the allocation-free steady state); PoolMisses counts
+	// fresh or resized workspaces.
+	PoolHits   uint64 `json:"pool_hits"`
+	PoolMisses uint64 `json:"pool_misses"`
+}
+
+var counters struct {
+	searches   atomic.Uint64
+	astar      atomic.Uint64
+	kshortest  atomic.Uint64
+	heapPushes atomic.Uint64
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+}
+
+// CounterSnapshot returns the current values of the engine counters. They
+// are process-lifetime totals across every graph and caller.
+func CounterSnapshot() Stats {
+	return Stats{
+		Searches:       counters.searches.Load(),
+		AStarSearches:  counters.astar.Load(),
+		KShortestCalls: counters.kshortest.Load(),
+		HeapPushes:     counters.heapPushes.Load(),
+		PoolHits:       counters.poolHits.Load(),
+		PoolMisses:     counters.poolMisses.Load(),
+	}
+}

@@ -1,7 +1,6 @@
 package routing
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 
@@ -12,154 +11,143 @@ import (
 // ErrNoRoute is returned when the destination is unreachable from the source.
 var ErrNoRoute = errors.New("routing: no route between the given nodes")
 
-// pqItem is a priority-queue entry for Dijkstra/A*.
-type pqItem struct {
-	node roadnet.NodeID
-	prio float64
-	idx  int
-}
-
-type priorityQueue []*pqItem
-
-func (pq priorityQueue) Len() int { return len(pq) }
-func (pq priorityQueue) Less(i, j int) bool {
-	if pq[i].prio != pq[j].prio {
-		return pq[i].prio < pq[j].prio
-	}
-	return pq[i].node < pq[j].node // deterministic tie-break
-}
-func (pq priorityQueue) Swap(i, j int) {
-	pq[i], pq[j] = pq[j], pq[i]
-	pq[i].idx = i
-	pq[j].idx = j
-}
-func (pq *priorityQueue) Push(x any) {
-	it := x.(*pqItem)
-	it.idx = len(*pq)
-	*pq = append(*pq, it)
-}
-func (pq *priorityQueue) Pop() any {
-	old := *pq
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*pq = old[:n-1]
-	return it
-}
-
-// banSet marks nodes and edges excluded from a search; used by Yen's
-// algorithm for spur computations. A nil *banSet bans nothing.
-type banSet struct {
-	nodes map[roadnet.NodeID]bool
-	edges map[roadnet.EdgeID]bool
-}
-
-func (b *banSet) bansNode(n roadnet.NodeID) bool { return b != nil && b.nodes[n] }
-func (b *banSet) bansEdge(e roadnet.EdgeID) bool { return b != nil && b.edges[e] }
-
 // ShortestPath returns the minimum-cost route from src to dst under cost,
 // departing at time t, along with the total cost.
 func ShortestPath(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime) (roadnet.Route, float64, error) {
-	return shortest(g, src, dst, cost, t, nil, nil)
+	ws := acquireSpace(g)
+	r, c, err := search(g, src, dst, cost, t, 0, ws, false)
+	releaseSpace(ws)
+	return r, c, err
 }
 
-// AStar returns the same result as ShortestPath but uses the straight-line
-// distance heuristic. The heuristic is only admissible for cost functions
-// whose per-meter cost is at least minCostPerMeter; pass 0 to fall back to
-// plain Dijkstra.
-func AStar(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, minCostPerMeter float64) (roadnet.Route, float64, error) {
-	if minCostPerMeter <= 0 {
-		return shortest(g, src, dst, cost, t, nil, nil)
-	}
-	dstPt := g.Node(dst).Pt
-	h := func(n roadnet.NodeID) float64 {
-		return geo.Dist(g.Node(n).Pt, dstPt) * minCostPerMeter
-	}
-	return shortest(g, src, dst, cost, t, h, nil)
+// AStar returns the same route and cost as ShortestPath but goal-directed:
+// it uses the straight-line distance to dst, scaled by the cost function's
+// MinCostPerMeter lower bound, as an admissible and consistent heuristic.
+// Cost functions without a bound (MinCostPerMeter() == 0) fall back to plain
+// Dijkstra, so AStar is always a safe drop-in for ShortestPath.
+func AStar(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime) (roadnet.Route, float64, error) {
+	ws := acquireSpace(g)
+	r, c, err := search(g, src, dst, cost, t, cost.MinCostPerMeter(g), ws, false)
+	releaseSpace(ws)
+	return r, c, err
 }
 
-// shortest is the shared Dijkstra/A* core. h may be nil (Dijkstra); ban may
-// be nil (no exclusions).
-func shortest(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, h func(roadnet.NodeID) float64, ban *banSet) (roadnet.Route, float64, error) {
+// search is the shared Dijkstra/A* core over a caller-supplied workspace.
+// mcpm > 0 enables the goal-directed heuristic; useBans honors the
+// workspace's current node/edge ban set (Yen spur searches).
+//
+// The search is bit-identical to the old container/heap engine: the same
+// lazy-deletion queue discipline under the same strict (prio, node) order,
+// the same strict-improvement relaxation (an unreached node has implicit
+// distance +Inf, so +Inf or NaN edge costs never relax), and the same
+// settled-at-pop cost evaluation time t+dist[u]. With a consistent
+// heuristic, nodes are likewise settled with final distances when popped, so
+// A* computes the same dist values — and, absent exact cost ties between
+// distinct optimal paths, the same prev tree — as Dijkstra.
+func search(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, mcpm float64, ws *searchSpace, useBans bool) (roadnet.Route, float64, error) {
 	n := g.NumNodes()
 	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
 		return roadnet.Route{}, 0, errors.New("routing: node out of range")
 	}
-	if ban.bansNode(src) || ban.bansNode(dst) {
+	if useBans && (ws.banned(src) || ws.banned(dst)) {
 		return roadnet.Route{}, 0, ErrNoRoute
+	}
+	counters.searches.Add(1)
+	if mcpm > 0 {
+		counters.astar.Add(1)
 	}
 	if src == dst {
 		return roadnet.NewRoute(src), 0, nil
 	}
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	prev := make([]roadnet.NodeID, n)
-	for i := range prev {
-		prev[i] = -1
-	}
-	done := make([]bool, n)
 
-	dist[src] = 0
-	pq := priorityQueue{}
-	heap.Init(&pq)
-	start := &pqItem{node: src, prio: 0}
-	if h != nil {
-		start.prio = h(src)
+	epoch := ws.beginSearch()
+	var pushes uint64
+	var dstPt geo.Point
+	if mcpm > 0 {
+		dstPt = g.Node(dst).Pt
 	}
-	heap.Push(&pq, start)
 
-	for pq.Len() > 0 {
-		it := heap.Pop(&pq).(*pqItem)
-		u := it.node
-		if done[u] {
+	ws.dist[src] = 0
+	ws.prev[src] = -1
+	ws.seen[src] = epoch
+	start := heapEntry{node: src}
+	if mcpm > 0 {
+		start.prio = geo.Dist(g.Node(src).Pt, dstPt) * mcpm
+	}
+	ws.heapPush(start)
+	pushes++
+
+	found := false
+	for len(ws.heap) > 0 {
+		u := ws.heapPop().node
+		if ws.done[u] == epoch {
 			continue
 		}
-		done[u] = true
+		ws.done[u] = epoch
 		if u == dst {
+			found = true
 			break
 		}
+		du := ws.dist[u]
+		td := t.Add(du)
 		for _, eid := range g.Out(u) {
-			if ban.bansEdge(eid) {
+			if useBans && ws.bannedE(eid) {
 				continue
 			}
 			e := g.Edge(eid)
 			v := e.To
-			if done[v] || ban.bansNode(v) {
+			if ws.done[v] == epoch {
 				continue
 			}
-			c := cost(e, t.Add(dist[u]))
+			if useBans && ws.banned(v) {
+				continue
+			}
+			c := cost.Cost(e, td)
 			if c < 0 {
 				c = 0
 			}
-			nd := dist[u] + c
-			if nd < dist[v] {
-				dist[v] = nd
-				prev[v] = u
-				prio := nd
-				if h != nil {
-					prio += h(v)
-				}
-				heap.Push(&pq, &pqItem{node: v, prio: prio})
+			nd := du + c
+			dv := math.Inf(1)
+			if ws.seen[v] == epoch {
+				dv = ws.dist[v]
 			}
+			if !(nd < dv) {
+				continue
+			}
+			ws.seen[v] = epoch
+			ws.dist[v] = nd
+			ws.prev[v] = u
+			prio := nd
+			if mcpm > 0 {
+				prio += geo.Dist(g.Node(v).Pt, dstPt) * mcpm
+			}
+			ws.heapPush(heapEntry{prio: prio, node: v})
+			pushes++
 		}
 	}
+	counters.heapPushes.Add(pushes)
 
-	if math.IsInf(dist[dst], 1) {
+	if !found {
 		return roadnet.Route{}, 0, ErrNoRoute
 	}
-	// Reconstruct.
-	var rev []roadnet.NodeID
-	for at := dst; at != -1; at = prev[at] {
-		rev = append(rev, at)
+	// Reconstruct: count the path length, then fill one exact allocation
+	// backwards. Every node on the chain was settled this epoch, so the
+	// prev pointers are valid and terminate at src (prev[src] == -1).
+	steps := 0
+	for at := dst; at != -1; at = ws.prev[at] {
+		steps++
 		if at == src {
 			break
 		}
 	}
-	nodes := make([]roadnet.NodeID, len(rev))
-	for i, nd := range rev {
-		nodes[len(rev)-1-i] = nd
+	nodes := make([]roadnet.NodeID, steps)
+	i := steps - 1
+	for at := dst; at != -1; at = ws.prev[at] {
+		nodes[i] = at
+		i--
+		if at == src {
+			break
+		}
 	}
-	return roadnet.Route{Nodes: nodes}, dist[dst], nil
+	return roadnet.Route{Nodes: nodes}, ws.dist[dst], nil
 }

@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"crowdplanner/internal/roadnet"
+)
+
+// heapEntry is one priority-queue entry: a node and the priority it was
+// pushed with (g-cost for Dijkstra, g+h for A*). Entries are plain values —
+// no per-push boxing, no index bookkeeping — and the queue uses lazy
+// deletion: a node may appear several times with decreasing priorities, and
+// stale pops are skipped via the done stamp.
+type heapEntry struct {
+	prio float64
+	node roadnet.NodeID
+}
+
+// entryLess orders entries by priority with the node ID as a deterministic
+// tie-break, the same strict total order the old container/heap engine used.
+// Under a strict total order every pop extracts the unique minimum of the
+// queue's contents, so any correct heap yields the same pop sequence — which
+// is what keeps the rewritten engine bit-identical to the old one.
+func entryLess(a, b heapEntry) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.node < b.node
+}
+
+// heapPush inserts e. The heap is 4-ary: shallower than a binary heap (fewer
+// levels to sift through on push, the dominant operation in Dijkstra) with
+// all four children adjacent in one cache line pair.
+func (ws *searchSpace) heapPush(e heapEntry) {
+	h := append(ws.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	ws.heap = h
+}
+
+// heapPop removes and returns the minimum entry.
+func (ws *searchSpace) heapPop() heapEntry {
+	h := ws.heap
+	top := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	ws.heap = h
+	if n := len(h); n > 0 {
+		i := 0
+		for {
+			c := i*4 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if entryLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !entryLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package routing
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package routing
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds allocations to sync.Pool operations, so allocation
+// assertions are skipped under -race (the race job checks safety, the
+// regular job checks the allocation contract).
+const raceEnabled = true

@@ -123,8 +123,8 @@ func TestAStarMatchesDijkstra(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		src := roadnet.NodeID(rng.Intn(g.NumNodes()))
 		dst := roadnet.NodeID(rng.Intn(g.NumNodes()))
-		_, c1, err1 := ShortestPath(g, src, dst, DistanceCost, 0)
-		_, c2, err2 := AStar(g, src, dst, DistanceCost, 0, 1.0)
+		r1, c1, err1 := ShortestPath(g, src, dst, DistanceCost, 0)
+		r2, c2, err2 := AStar(g, src, dst, DistanceCost, 0)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("err mismatch: %v vs %v", err1, err2)
 		}
@@ -134,12 +134,20 @@ func TestAStarMatchesDijkstra(t *testing.T) {
 		if math.Abs(c1-c2) > 1e-6 {
 			t.Fatalf("trial %d: dijkstra %v vs astar %v", trial, c1, c2)
 		}
+		if !r1.Equal(r2) {
+			t.Fatalf("trial %d: dijkstra route %v vs astar route %v", trial, r1, r2)
+		}
 	}
 }
 
 func TestAStarFallsBackWithoutHeuristic(t *testing.T) {
+	// CostFn carries no lower bound, so AStar degrades to plain Dijkstra.
 	g := diamond()
-	r, _, err := AStar(g, 0, 4, DistanceCost, 0, 0)
+	unbounded := CostFn(func(e *roadnet.Edge, _ SimTime) float64 { return e.Length })
+	if b := unbounded.MinCostPerMeter(g); b != 0 {
+		t.Fatalf("CostFn bound = %v, want 0", b)
+	}
+	r, _, err := AStar(g, 0, 4, unbounded, 0)
 	if err != nil || !r.Equal(roadnet.NewRoute(0, 1, 3, 4)) {
 		t.Errorf("fallback route = %v, err %v", r, err)
 	}
@@ -149,11 +157,11 @@ func TestTravelTimeCostPrefersFastRoads(t *testing.T) {
 	fast := &roadnet.Edge{Length: 1000, Class: roadnet.Highway, SpeedKmh: 100}
 	slow := &roadnet.Edge{Length: 1000, Class: roadnet.Local, SpeedKmh: 40}
 	tNight := At(0, 3, 0)
-	if TravelTimeCost(fast, tNight) >= TravelTimeCost(slow, tNight) {
+	if TravelTimeCost.Cost(fast, tNight) >= TravelTimeCost.Cost(slow, tNight) {
 		t.Error("highway should be faster than local at night")
 	}
 	lit := &roadnet.Edge{Length: 1000, Class: roadnet.Local, SpeedKmh: 40, Lights: 2}
-	if TravelTimeCost(lit, tNight) <= TravelTimeCost(slow, tNight) {
+	if TravelTimeCost.Cost(lit, tNight) <= TravelTimeCost.Cost(slow, tNight) {
 		t.Error("lights should add delay")
 	}
 }

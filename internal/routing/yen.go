@@ -1,104 +1,128 @@
 package routing
 
 import (
-	"sort"
+	"container/heap"
 
 	"crowdplanner/internal/roadnet"
 )
 
 // KShortest returns up to k loopless minimum-cost routes from src to dst in
-// increasing cost order, using Yen's algorithm. It returns ErrNoRoute when
-// not even one route exists. The routes are distinct node sequences.
+// increasing cost order, using Yen's algorithm with Lawler's optimization.
+// It returns ErrNoRoute when not even one route exists. The routes are
+// distinct node sequences.
+//
+// Lawler's optimization: when the i-th accepted route deviated from its
+// parent at index d, spurring it at any index below d would reproduce
+// candidates already generated when the shared prefix was processed (the ban
+// set for that prefix only grows when a route deviating at that index is
+// accepted — and that route is itself re-spurred there). Skipping those
+// indices turns O(L) spur searches per round into O(L - d) while generating
+// the exact same candidate pool round for round, so the output — routes and
+// costs both — is bit-identical to unoptimized Yen.
 func KShortest(g *roadnet.Graph, src, dst roadnet.NodeID, k int, cost CostFunc, t SimTime) ([]roadnet.Route, []float64, error) {
 	if k <= 0 {
 		return nil, nil, nil
 	}
-	best, bestCost, err := ShortestPath(g, src, dst, cost, t)
+	counters.kshortest.Add(1)
+	ws := acquireSpace(g)
+	defer releaseSpace(ws)
+
+	// Goal-directed throughout: banning nodes/edges only removes paths, so
+	// the cost function's per-meter bound stays admissible for every spur
+	// search, and each one settles a fraction of the graph.
+	mcpm := cost.MinCostPerMeter(g)
+
+	best, bestCost, err := search(g, src, dst, cost, t, mcpm, ws, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	routes := []roadnet.Route{best}
 	costs := []float64{bestCost}
+	devs := []int{0} // deviation index of each accepted route
 
-	type candidate struct {
-		route roadnet.Route
-		cost  float64
-	}
-	var cands []candidate
-
+	var cands candHeap
 	seen := map[string]bool{routeKey(best): true}
 
 	for len(routes) < k {
-		prevRoute := routes[len(routes)-1]
-		// Spur from every node of the previous route except the last.
-		for i := 0; i < len(prevRoute.Nodes)-1; i++ {
-			spurNode := prevRoute.Nodes[i]
-			rootNodes := prevRoute.Nodes[:i+1]
-
-			ban := &banSet{
-				nodes: make(map[roadnet.NodeID]bool),
-				edges: make(map[roadnet.EdgeID]bool),
+		prevRoute := routes[len(routes)-1].Nodes
+		// Root-prefix costs along the previous route, computed once and
+		// shared by every spur index (the old engine re-walked the prefix
+		// per index; the accumulation sequence — and hence every float —
+		// is identical). broken is the index of the first missing edge:
+		// spur indices beyond it would price their root wrong, so their
+		// candidates are dropped rather than underpriced (see rootCosts).
+		prefix, broken := rootCosts(g, prevRoute, cost, t)
+		for i := devs[len(routes)-1]; i < len(prevRoute)-1; i++ {
+			if i > broken {
+				break
 			}
+			spurNode := prevRoute[i]
+			rootNodes := prevRoute[:i+1]
+
+			ws.resetBans()
 			// Ban edges that would recreate an already-found route sharing
 			// this root.
 			for _, r := range routes {
-				if len(r.Nodes) > i && equalPrefix(r.Nodes, rootNodes) {
+				if len(r.Nodes) > i+1 && equalPrefix(r.Nodes, rootNodes) {
 					if eid, ok := g.FindEdge(r.Nodes[i], r.Nodes[i+1]); ok {
-						ban.edges[eid] = true
+						ws.banE(eid)
 					}
 				}
 			}
 			// Ban root nodes (except the spur node) to keep routes loopless.
 			for _, n := range rootNodes[:len(rootNodes)-1] {
-				ban.nodes[n] = true
+				ws.ban(n)
 			}
 
-			spurRoute, spurCost, err := shortest(g, spurNode, dst, cost, t, nil, ban)
+			spurRoute, spurCost, err := search(g, spurNode, dst, cost, t, mcpm, ws, true)
 			if err != nil {
 				continue
 			}
 			total := make([]roadnet.NodeID, 0, i+len(spurRoute.Nodes))
 			total = append(total, rootNodes[:i]...)
 			total = append(total, spurRoute.Nodes...)
-			cand := roadnet.Route{Nodes: total}
-			key := routeKey(cand)
+			key := nodesKey(total)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			// Cost of root prefix plus spur. Recompute the prefix under the
+			// Cost of root prefix plus spur. The prefix is priced under the
 			// same departure time; for time-dependent costs this is an
 			// approximation, consistent with how Yen is normally applied.
-			rootCost := prefixCost(g, rootNodes, cost, t)
-			cands = append(cands, candidate{route: cand, cost: rootCost + spurCost})
+			heap.Push(&cands, yenCand{nodes: total, key: key, cost: prefix[i] + spurCost, dev: i})
 		}
-		if len(cands) == 0 {
+		if cands.Len() == 0 {
 			break
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].cost != cands[b].cost {
-				return cands[a].cost < cands[b].cost
-			}
-			return routeKey(cands[a].route) < routeKey(cands[b].route)
-		})
-		next := cands[0]
-		cands = cands[1:]
-		routes = append(routes, next.route)
+		next := heap.Pop(&cands).(yenCand)
+		routes = append(routes, roadnet.Route{Nodes: next.nodes})
 		costs = append(costs, next.cost)
+		devs = append(devs, next.dev)
 	}
 	return routes, costs, nil
 }
 
-// prefixCost sums edge costs along nodes (which includes the spur node as its
-// last element, contributing no edge).
-func prefixCost(g *roadnet.Graph, nodes []roadnet.NodeID, cost CostFunc, t SimTime) float64 {
+// rootCosts returns prefix costs along nodes: out[i] is the cost of the path
+// nodes[0..i] (i edges), accumulated under the same clock-advance rule the
+// old per-index prefixCost used. broken is the index of the first node pair
+// with no connecting edge (len(nodes)-1 when the whole chain exists): a spur
+// index i > broken has a root whose cost cannot be computed, and its
+// candidates must be dropped — the old engine silently priced such roots as
+// if the missing edges were free, underpricing the candidate.
+func rootCosts(g *roadnet.Graph, nodes []roadnet.NodeID, cost CostFunc, t SimTime) (out []float64, broken int) {
+	out = make([]float64, len(nodes))
+	broken = len(nodes) - 1
 	var total float64
 	for i := 1; i < len(nodes); i++ {
-		if eid, ok := g.FindEdge(nodes[i-1], nodes[i]); ok {
-			total += cost(g.Edge(eid), t.Add(total))
+		eid, ok := g.FindEdge(nodes[i-1], nodes[i])
+		if !ok {
+			broken = i - 1
+			return out[:i], broken
 		}
+		total += cost.Cost(g.Edge(eid), t.Add(total))
+		out[i] = total
 	}
-	return total
+	return out, broken
 }
 
 func equalPrefix(nodes, prefix []roadnet.NodeID) bool {
@@ -114,10 +138,45 @@ func equalPrefix(nodes, prefix []roadnet.NodeID) bool {
 }
 
 // routeKey renders a route as a compact string key for dedup maps.
-func routeKey(r roadnet.Route) string {
-	b := make([]byte, 0, len(r.Nodes)*4)
-	for _, n := range r.Nodes {
+func routeKey(r roadnet.Route) string { return nodesKey(r.Nodes) }
+
+func nodesKey(nodes []roadnet.NodeID) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, n := range nodes {
 		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
 	}
 	return string(b)
+}
+
+// yenCand is one not-yet-accepted candidate route. Candidates are kept in a
+// min-heap ordered by (cost, key) — the same strict total order the old
+// engine's full sort.Slice per round selected by — so popping the heap
+// yields the same route the sort would have put first, without re-sorting
+// the whole pool every round. Unlike the search queue (heap.go, the hot
+// path), the candidate heap sees only O(k·L) operations per call, so it
+// rides on container/heap rather than duplicating the sift code.
+type yenCand struct {
+	nodes []roadnet.NodeID
+	key   string
+	cost  float64
+	dev   int
+}
+
+type candHeap []yenCand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].key < h[j].key
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(yenCand)) }
+func (h *candHeap) Pop() any {
+	s := *h
+	c := s[len(s)-1]
+	s[len(s)-1] = yenCand{} // release the route backing array
+	*h = s[:len(s)-1]
+	return c
 }

@@ -294,6 +294,7 @@ type HealthV1Response struct {
 	OpenTasks int                        `json:"open_tasks"`
 	UptimeSec float64                    `json:"uptime_sec"`
 	Store     StoreInfo                  `json:"store"`
+	Routing   routing.Stats              `json:"routing"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
@@ -343,6 +344,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, v1 bool) {
 		OpenTasks:      s.sys.OpenTasks(),
 		UptimeSec:      uptime,
 		Store:          StoreInfo{Stats: ss, AppendErrors: appendErrs},
+		Routing:        s.sys.RoutingStats(),
 		Endpoints:      endpoints,
 	})
 }

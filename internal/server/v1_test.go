@@ -297,6 +297,15 @@ func TestV1HealthMetricsAndRequestID(t *testing.T) {
 	if em.AvgMs < 0 || em.MaxMs < em.AvgMs {
 		t.Errorf("latency aggregates inconsistent: %+v", em)
 	}
+	// The routing section mirrors the route-cache stats: building the test
+	// world already ran searches (driver simulation, truth polling), so the
+	// engine counters must be non-zero and consistent.
+	if h.Routing.Searches == 0 || h.Routing.HeapPushes == 0 {
+		t.Errorf("routing counters empty: %+v", h.Routing)
+	}
+	if h.Routing.AStarSearches > h.Routing.Searches {
+		t.Errorf("more A* searches than searches: %+v", h.Routing)
+	}
 }
 
 func TestV1UnmatchedRoutesUseEnvelope(t *testing.T) {

@@ -66,7 +66,7 @@ func classDiscomfort(c roadnet.RoadClass) float64 {
 // PerceivedCost returns the driver's subjective cost for an edge at time t.
 // It is deterministic; per-trip noise is applied by RouteFor.
 func (d *Driver) PerceivedCost(g *roadnet.Graph, e *roadnet.Edge, t routing.SimTime) float64 {
-	tt := routing.TravelTimeCost(e, t)
+	tt := routing.TravelTimeCost.Cost(e, t)
 	cost := d.Prefs.WTime*tt +
 		d.Prefs.WDist*e.Length/1000 +
 		d.Prefs.WLights*float64(e.Lights) +
@@ -83,20 +83,38 @@ func (d *Driver) PerceivedCost(g *roadnet.Graph, e *roadnet.Edge, t routing.SimT
 	return cost
 }
 
+// minCostPerMeter is the driver's admissible per-meter lower bound on
+// PerceivedCost over g: the time term is at least WTime·(the travel-time
+// model's per-meter bound for g), the distance term WDist/1000 per length
+// meter scaled by the graph's length ratio, and the comfort and familiarity
+// terms only ever add cost (the familiarity factor multiplies by >= 1). It
+// lets the noise-free preferred-route search run goal-directed; per-trip
+// noise is multiplicative with factors below 1, so the bound does not hold
+// for noisy searches and they stay plain Dijkstra.
+func (d *Driver) minCostPerMeter(g *roadnet.Graph) float64 {
+	return d.Prefs.WTime*routing.TravelTimeCost.MinCostPerMeter(g) +
+		d.Prefs.WDist/1000*g.MinLengthRatio()
+}
+
 // RouteFor returns the route this driver would take from src to dst at time
 // t. rng supplies the per-trip noise; pass nil for the noise-free preferred
 // route.
 func (d *Driver) RouteFor(g *roadnet.Graph, src, dst roadnet.NodeID, t routing.SimTime, rng *rand.Rand) (roadnet.Route, error) {
-	cost := func(e *roadnet.Edge, tm routing.SimTime) float64 {
+	noisy := rng != nil && d.TripNoise > 0
+	fn := func(e *roadnet.Edge, tm routing.SimTime) float64 {
 		c := d.PerceivedCost(g, e, tm)
-		if rng != nil && d.TripNoise > 0 {
+		if noisy {
 			// Multiplicative noise keeps costs positive. The noise is drawn
 			// per edge per call, modelling day-to-day whim.
 			c *= math.Exp(rng.NormFloat64() * d.TripNoise)
 		}
 		return c
 	}
-	r, _, err := routing.ShortestPath(g, src, dst, cost, t)
+	cost := routing.CostFn(fn)
+	if !noisy {
+		cost = routing.BoundedCostFn(fn, d.minCostPerMeter(g))
+	}
+	r, _, err := routing.AStar(g, src, dst, cost, t)
 	return r, err
 }
 

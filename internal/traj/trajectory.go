@@ -117,7 +117,7 @@ func MapMatch(g *roadnet.Graph, samples []Sample) (roadnet.Route, error) {
 			nodes = append(nodes, next)
 			continue
 		}
-		bridge, _, err := routing.ShortestPath(g, prev, next, routing.DistanceCost, 0)
+		bridge, _, err := routing.AStar(g, prev, next, routing.DistanceCost, 0)
 		if err != nil {
 			return roadnet.Route{}, err
 		}
