@@ -1,0 +1,123 @@
+// Command cplint runs CrowdPlanner's project-invariant static-analysis
+// suite (internal/analysis) over the module: determinism of map iteration,
+// the no-I/O-under-lock WAL discipline, context propagation, wall-clock and
+// global-RNG hygiene, and errors.Is classification of sentinels.
+//
+// Usage:
+//
+//	go run ./cmd/cplint [-json] [-only a,b] [-list] [packages...]
+//
+// Packages default to ./... . Exit codes: 0 clean, 1 findings, 2 load or
+// usage error — so CI can distinguish "violations" from "could not analyze".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"crowdplanner/internal/analysis"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, ""))
+}
+
+// jsonFinding is the machine-readable diagnostic shape (-json).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+	Packages   int           `json:"packages"`
+}
+
+// run is the testable entry point; dir overrides the working directory for
+// package loading ("" = process cwd).
+func run(args []string, stdout, stderr io.Writer, dir string) int {
+	fs := flag.NewFlagSet("cplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := analyzers.Select(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "cplint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	loader := analysis.NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "cplint: load:", err)
+		return 2
+	}
+	res := analysis.Run(pkgs, selected, analyzers.Names())
+
+	if *jsonOut {
+		rep := jsonReport{Findings: []jsonFinding{}, Suppressed: res.Suppressed, Packages: len(pkgs)}
+		for _, d := range res.Diagnostics {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     relPath(dir, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "cplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			d.Pos.Filename = relPath(dir, d.Pos.Filename)
+			fmt.Fprintln(stdout, d.String())
+		}
+		fmt.Fprintf(stdout, "cplint: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), len(res.Diagnostics), res.Suppressed)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens absolute file names relative to the analysis root for
+// readable, stable output.
+func relPath(dir, file string) string {
+	base := dir
+	if base == "" {
+		base, _ = os.Getwd()
+	}
+	if base == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(base, file); err == nil && !filepath.IsAbs(rel) &&
+		len(rel) < len(file) {
+		return rel
+	}
+	return file
+}

@@ -1,0 +1,144 @@
+// Package analysis is CrowdPlanner's project-invariant static-analysis
+// framework: the machinery behind cmd/cplint. It type-checks the module with
+// nothing but the standard library (go/parser + go/types, package discovery
+// via `go list -json`, stdlib imports via the source importer) and runs a
+// catalogue of project-specific analyzers over the typed syntax trees.
+//
+// The analyzers exist because CrowdPlanner's correctness rests on invariants
+// that ordinary tests only sample: bit-identical deterministic replay (sorted
+// iteration, seeded RNG), "appends never run under core locks" (the PR 3 WAL
+// discipline), full context.Context propagation through /v1, and sentinel
+// errors classified via errors.Is. This package makes those reviewer-memory
+// rules mechanical.
+//
+// Findings can be suppressed per line with an annotation that must carry a
+// written reason:
+//
+//	//cplint:ignore <analyzer>[,<analyzer>] -- <reason>
+//	//cplint:ordered-irrelevant -- <reason>      (shorthand for detorder)
+//
+// A suppression comment applies to diagnostics on its own line and on the
+// line directly below it, so both trailing and standalone placement work. An
+// annotation without a reason is itself reported and suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one type-checked package ready for analysis: the parsed files
+// (with comments), the go/types results, and identity/location metadata.
+type Package struct {
+	// Path is the import path the package was checked under. Analyzers use
+	// it to scope themselves (e.g. detorder only fires in deterministic
+	// packages).
+	Path string
+	// Dir is the directory the source files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Diagnostic is one finding, positioned at a concrete file:line:col.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the classic compiler format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check. Run inspects a single package and
+// reports findings through the pass; it must not retain the pass.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description shown by `cplint -list`.
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of running analyzers over packages.
+type Result struct {
+	// Diagnostics holds the unsuppressed findings, sorted by position then
+	// analyzer name, with exact duplicates removed.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by well-formed annotations.
+	Suppressed int
+}
+
+// Run executes every analyzer over every package, applies the per-line
+// suppression annotations, and returns the surviving findings. known lists
+// every analyzer name the suppression vocabulary accepts — pass the full
+// registry even when only a subset runs, so `cplint -only wallclock` does not
+// misreport annotations that reference other analyzers.
+func Run(pkgs []*Package, analyzers []*Analyzer, known []string) Result {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	res := applySuppressions(diags, pkgs, known)
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	res.Diagnostics = dedupe(res.Diagnostics)
+	return res
+}
+
+// dedupe drops adjacent identical findings from a sorted slice. Two lock
+// regions over the same receiver, say, may both cover one I/O call; the user
+// needs the finding once.
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package analysistest runs analyzers over testdata fixture packages and
+// checks their findings against `// want "regexp"` comments, the same
+// harness idiom the x/tools analysis framework uses — reimplemented on the
+// stdlib so the module keeps zero external dependencies.
+//
+// A fixture directory is one Go package (invisible to `go list ./...`
+// because it lives under testdata/). It is type-checked under a caller
+// chosen import path, which is how scoped analyzers are exercised: check a
+// fixture under "crowdplanner/internal/truth/fixture" and detorder treats
+// it as deterministic; check the same shapes under an experiments path and
+// the allowlist applies.
+//
+// Expectations attach to the line the comment sits on and may list several
+// patterns: `// want "first" "second"`. Suppression annotations are applied
+// before matching, so fixtures assert both detection and suppression
+// behavior; framework diagnostics about malformed annotations match wants
+// like any other finding.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"crowdplanner/internal/analysis"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// wantRE pulls quoted patterns out of a `want "..." "..."` comment tail.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// commentWantRE finds the want marker inside a comment's text.
+var commentWantRE = regexp.MustCompile(`(?:^|\s)want\s+("(?:[^"\\]|\\.)*"(?:\s+"(?:[^"\\]|\\.)*")*)`)
+
+// expectation is one unmatched want pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads the fixture package rooted at dir, type-checks it under asPath,
+// runs the analyzer (with the framework's suppression layer), and diffs the
+// findings against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	loader := analysis.NewLoader("")
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	res := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, analyzers.Names())
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := commentWantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Ctxflow enforces the PR 2 context-propagation discipline with two checks:
+//
+//  1. An exported function or method that accepts a context.Context must
+//     observe it — reference the parameter at least once (pass it along,
+//     check ctx.Err(), select on ctx.Done()). An ignored or blank ctx
+//     parameter advertises cancellation support the function does not have.
+//
+//  2. Inside any function that already receives a context.Context or an
+//     *http.Request, calls to context.Background() / context.TODO() are
+//     flagged: a caller context is in scope and must be derived from
+//     (handlers use r.Context()). Detached work that intentionally outlives
+//     the request keeps Background with an annotation saying so.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported funcs must observe their ctx; no context.Background/TODO where a caller context is in scope",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) {
+	info := pass.Pkg.Info
+	isCtx := func(t types.Type) bool { return isNamedType(t, "context", "Context") }
+	isReq := func(t types.Type) bool { return isNamedType(t, "net/http", "Request") }
+
+	for _, file := range pass.Pkg.Files {
+		// Check 1: exported declarations must observe their ctx parameter.
+		for _, fd := range enclosingFuncs(file) {
+			if !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				ft := info.TypeOf(field.Type)
+				if ft == nil || !isCtx(ft) {
+					continue
+				}
+				if len(field.Names) == 0 {
+					pass.Reportf(field.Pos(),
+						"exported %s takes an unnamed context.Context it can never observe; name it and use it, or drop the parameter",
+						fd.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						pass.Reportf(name.Pos(),
+							"exported %s discards its context.Context parameter; name it and use it, or drop the parameter",
+							fd.Name.Name)
+						continue
+					}
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					used := false
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+							used = true
+							return false
+						}
+						return !used
+					})
+					if !used {
+						pass.Reportf(name.Pos(),
+							"exported %s accepts %s but never observes it; check %s.Err()/%s.Done() or pass it to callees (callers expect cancellation to propagate)",
+							fd.Name.Name, name.Name, name.Name, name.Name)
+					}
+				}
+			}
+		}
+
+		// Check 2: Background/TODO where a caller context is available.
+		// funcHasCaller reports whether the literal/declared function's own
+		// parameters include a ctx or *http.Request.
+		paramsHaveCaller := func(ft *ast.FuncType) bool {
+			if ft.Params == nil {
+				return false
+			}
+			for _, field := range ft.Params.List {
+				t := info.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if isCtx(t) || isReq(t) {
+					return true
+				}
+			}
+			return false
+		}
+		var checkBody func(body ast.Node)
+		checkBody = func(body ast.Node) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if f := calleeFunc(info, call); isPkgFunc(f, "context", "Background", "TODO") {
+					pass.Reportf(call.Pos(),
+						"context.%s() called where a caller context is in scope: derive from the incoming ctx (handlers: r.Context()); if this work must outlive the caller, annotate why",
+						f.Name())
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && paramsHaveCaller(fn.Type) {
+					checkBody(fn.Body)
+					return false // body covered, including nested literals
+				}
+			case *ast.FuncLit:
+				if paramsHaveCaller(fn.Type) {
+					checkBody(fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}

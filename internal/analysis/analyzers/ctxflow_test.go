@@ -1,0 +1,13 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analyzers.Ctxflow,
+		"../testdata/src/ctxflow", "crowdplanner/internal/server/ctxflowfixture")
+}

@@ -1,0 +1,92 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Detorder flags `range` over a map in deterministic packages. Go randomizes
+// map iteration order per run, so any map range whose visit order can leak
+// into results, stored state, or the event log breaks bit-identical replay.
+//
+// A map range is accepted without annotation when it visibly feeds a sort:
+// some call into package sort or a slices.Sort* variant appears later in the
+// same top-level function (the collect-then-sort idiom). Everything else
+// needs `//cplint:ordered-irrelevant -- <why>` — e.g. a commutative
+// reduction (sum/max), or a drain where each element is processed through
+// an order-insensitive sink.
+var Detorder = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "map iteration in deterministic packages must feed a sort or justify order-irrelevance",
+	Run:  runDetorder,
+}
+
+func runDetorder(pass *analysis.Pass) {
+	if !isDeterministic(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(file) {
+			// Collect sort-call positions once per function; a map range is
+			// "sorted away" if any sort call follows it.
+			var sortEnds []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if f := calleeFunc(info, call); f != nil && isSortCall(f) {
+					sortEnds = append(sortEnds, call)
+				}
+				return true
+			})
+			sortAfter := func(n ast.Node) bool {
+				for _, s := range sortEnds {
+					if s.Pos() > n.End() {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sortAfter(rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"range over map %s in deterministic package %q: iteration order is randomized per run; collect and sort the keys, or annotate //cplint:ordered-irrelevant -- <why order cannot leak>",
+					exprString(rs.X), internalSegment(pass.Pkg.Path))
+				return true
+			})
+		}
+	}
+}
+
+// isSortCall recognizes the stdlib sorting entry points: anything in package
+// sort, plus the slices.Sort* family.
+func isSortCall(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		name := f.Name()
+		return len(name) >= 4 && name[:4] == "Sort"
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, analyzers.Detorder,
+		"../testdata/src/detorder", "crowdplanner/internal/truth/detorderfixture")
+}
+
+// TestDetorderScope checks the same violation shapes stay silent outside
+// the deterministic package families.
+func TestDetorderScope(t *testing.T) {
+	analysistest.Run(t, analyzers.Detorder,
+		"../testdata/src/detorder_scope", "crowdplanner/internal/geo/scopefixture")
+}

@@ -1,0 +1,263 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Lockappend enforces the PR 3 WAL discipline: no storage append/fsync, file
+// I/O, or network call may run while a sync.Mutex or sync.RWMutex is held.
+// Blocking I/O under a core lock turns every fsync into a stall of the whole
+// serving path (and in the worst case a deadlock against the store's own
+// mutex). The walBatch pattern — collect records under the lock, flush after
+// unlocking — is the sanctioned shape.
+//
+// Detection is package-local but transitive: each function gets an I/O
+// summary (direct calls into crowdplanner/internal/store append/sync/load
+// methods, os file operations, net dials, http round-trips), summaries
+// propagate over same-package static calls to a fixpoint, and any call whose
+// summary is non-empty is flagged when it appears between a Lock/RLock and
+// the matching Unlock (a deferred unlock holds to function end). Calls
+// inside nested function literals are skipped: their execution time is not
+// tied to the region. Cross-package calls (other than into the store layer)
+// are not expanded.
+//
+// The store packages themselves are exempt — serializing file writes under
+// the store's own append mutex is their job, not a violation.
+var Lockappend = &analysis.Analyzer{
+	Name: "lockappend",
+	Doc:  "no store append/fsync/file/network I/O reachable while a sync mutex is held",
+	Run:  runLockappend,
+}
+
+// storePathPrefix scopes "calls into the storage layer". Matched by path
+// suffix segment so the real tree and fixtures both resolve.
+const storePkgSegment = "store"
+
+func runLockappend(pass *analysis.Pass) {
+	if internalSegment(pass.Pkg.Path) == storePkgSegment {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Pass 1: direct I/O per declared function, and the same-package static
+	// call graph.
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		io      string                    // description of first direct I/O, "" if none
+		ioPos   token.Pos                 // where it happens
+		callees map[*types.Func]token.Pos // same-package static calls
+	}
+	fns := make(map[*types.Func]*fnInfo)
+	for _, file := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(file) {
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, callees: make(map[*types.Func]token.Pos)}
+			fns[obj] = fi
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(info, call)
+				if f == nil {
+					return true
+				}
+				if desc := directIO(f); desc != "" && fi.io == "" {
+					fi.io, fi.ioPos = desc, call.Pos()
+				}
+				if f.Pkg() == pass.Pkg.Types {
+					if _, seen := fi.callees[f]; !seen {
+						fi.callees[f] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: propagate reachability to a fixpoint. reach[f] explains how f
+	// gets to I/O ("appends via flush → store.TruthLog.Append").
+	reach := make(map[*types.Func]string)
+	for f, fi := range fns {
+		if fi.io != "" {
+			reach[f] = fi.io
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, fi := range fns {
+			if _, done := reach[f]; done {
+				continue
+			}
+			for callee := range fi.callees {
+				if via, ok := reach[callee]; ok {
+					reach[f] = callee.Name() + " → " + via
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: scan lock regions.
+	for _, file := range pass.Pkg.Files {
+		for _, fd := range enclosingFuncs(file) {
+			checkLockRegions(pass, info, fd, reach)
+		}
+	}
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call in a function body.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // rendered receiver expression, e.g. "s.mu"
+	acquire  bool
+	deferred bool
+}
+
+// checkLockRegions finds held-lock spans in fd and reports I/O calls inside.
+func checkLockRegions(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl, reach map[*types.Func]string) {
+	var events []lockEvent
+	type ioSite struct {
+		pos  token.Pos
+		desc string
+	}
+	var ios []ioSite
+
+	// Walk the body outside function literals: a call inside a nested
+	// literal does not execute at its textual position.
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(root ast.Node, inDefer bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				f := calleeFunc(info, x)
+				if f == nil {
+					return true
+				}
+				if kind, isLock := mutexOp(f); isLock {
+					recv := ""
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						recv = exprString(sel.X)
+					}
+					events = append(events, lockEvent{
+						pos: x.Pos(), recv: recv,
+						acquire:  kind == "Lock" || kind == "RLock",
+						deferred: inDefer,
+					})
+					return true
+				}
+				if desc := directIO(f); desc != "" {
+					ios = append(ios, ioSite{x.Pos(), desc})
+				} else if via, ok := reach[f]; ok {
+					ios = append(ios, ioSite{x.Pos(), f.Name() + " → " + via})
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+
+	for _, acq := range events {
+		if !acq.acquire {
+			continue
+		}
+		// Region end: first plain release of the same receiver after the
+		// acquire; if only deferred releases (or none) exist, the lock is
+		// held to function end.
+		end := fd.Body.End()
+		for _, rel := range events {
+			if !rel.acquire && !rel.deferred && rel.recv == acq.recv && rel.pos > acq.pos && rel.pos < end {
+				end = rel.pos
+			}
+		}
+		for _, io := range ios {
+			if io.pos > acq.pos && io.pos < end {
+				pass.Reportf(io.pos,
+					"%s reachable while %s is locked (acquired at line %d): appends never run under core locks — buffer under the lock, flush after unlocking, or annotate why this cannot block",
+					io.desc, acq.recv, pass.Pkg.Fset.Position(acq.pos).Line)
+			}
+		}
+	}
+}
+
+// mutexOp classifies f as a sync.Mutex/RWMutex lock-family method.
+func mutexOp(f *types.Func) (string, bool) {
+	switch {
+	case isMethodOn(f, "sync", "Mutex", "Lock", "Unlock"),
+		isMethodOn(f, "sync", "RWMutex", "Lock", "Unlock", "RLock", "RUnlock"):
+		return f.Name(), true
+	}
+	return "", false
+}
+
+// directIO describes why a call is blocking I/O, or returns "".
+func directIO(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	path := f.Pkg().Path()
+	name := f.Name()
+	sig, _ := f.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	// Storage-layer appends, snapshots, and loads: any method of a type
+	// declared in the store package tree whose name says it touches the log.
+	if internalSegment(path) == storePkgSegment && isMethod {
+		if strings.HasPrefix(name, "Append") ||
+			name == "Snapshot" || name == "Sync" || name == "Load" || name == "Close" {
+			return "store append/IO (" + recvTypeName(sig) + "." + name + ")"
+		}
+		return ""
+	}
+	switch path {
+	case "os":
+		if !isMethod {
+			switch name {
+			case "OpenFile", "Open", "Create", "WriteFile", "ReadFile",
+				"Rename", "Remove", "RemoveAll", "Mkdir", "MkdirAll":
+				return "file I/O (os." + name + ")"
+			}
+			return ""
+		}
+		if isMethodOn(f, "os", "File",
+			"Write", "WriteString", "WriteAt", "Read", "ReadAt", "Sync", "Close") {
+			return "file I/O (os.File." + name + ")"
+		}
+	case "net":
+		if isPkgFunc(f, "net", "Dial", "DialTimeout", "Listen", "ListenPacket") {
+			return "network I/O (net." + name + ")"
+		}
+	case "net/http":
+		if isPkgFunc(f, "net/http", "Get", "Post", "PostForm", "Head") ||
+			isMethodOn(f, "net/http", "Client", "Do", "Get", "Post", "PostForm", "Head") {
+			return "network I/O (http." + name + ")"
+		}
+	}
+	return ""
+}
+
+// recvTypeName names a method's receiver type for diagnostics.
+func recvTypeName(sig *types.Signature) string {
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return rt.String()
+}

@@ -1,0 +1,20 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+func TestLockappend(t *testing.T) {
+	analysistest.Run(t, analyzers.Lockappend,
+		"../testdata/src/lockappend", "crowdplanner/internal/core/lockappendfixture")
+}
+
+// TestLockappendStoreExempt checks the storage layer may serialize its own
+// file writes under its append mutex.
+func TestLockappendStoreExempt(t *testing.T) {
+	analysistest.Run(t, analyzers.Lockappend,
+		"../testdata/src/lockappend_store", "crowdplanner/internal/store/walfixture")
+}

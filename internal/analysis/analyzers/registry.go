@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"fmt"
+	"strings"
+
+	"crowdplanner/internal/analysis"
+)
+
+// All returns the full analyzer catalogue in stable (alphabetical) order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Ctxflow, Detorder, Lockappend, Sentinel, Wallclock}
+}
+
+// Names lists every analyzer name; this is the suppression vocabulary.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Select resolves a comma-separated -only list against the catalogue.
+func Select(only string) ([]*analysis.Analyzer, error) {
+	if strings.TrimSpace(only) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(only, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run cplint -list)", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
+}

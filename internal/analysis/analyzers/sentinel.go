@@ -1,0 +1,70 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Sentinel flags `err == ErrX` / `err != ErrX` comparisons against
+// package-level sentinel error values. The /v1 error envelope (PR 2)
+// classifies core sentinels with errors.Is so wrapped errors
+// (fmt.Errorf("...: %w", ErrX)) still map to the right HTTP status; a raw
+// `==` silently stops matching the moment anyone adds context to the error.
+// Comparisons with nil are untouched.
+var Sentinel = &analysis.Analyzer{
+	Name: "sentinel",
+	Doc:  "sentinel errors must be classified with errors.Is, not ==/!=",
+	Run:  runSentinel,
+}
+
+func runSentinel(pass *analysis.Pass) {
+	info := pass.Pkg.Info
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	// sentinelVar reports whether e names a package-level error variable
+	// following the ErrX (or io.EOF-style) sentinel convention.
+	sentinelVar := func(e ast.Expr) (string, bool) {
+		var id *ast.Ident
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return "", false
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+		name := v.Name()
+		if !(len(name) > 3 && name[:3] == "Err") && name != "EOF" {
+			return "", false
+		}
+		if !types.Implements(v.Type(), errorIface) {
+			return "", false
+		}
+		return name, true
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			name, ok := sentinelVar(be.X)
+			if !ok {
+				name, ok = sentinelVar(be.Y)
+			}
+			if !ok {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"sentinel error %s compared with %s: use errors.Is so wrapped errors (%%w) still classify",
+				name, be.Op)
+			return true
+		})
+	}
+}

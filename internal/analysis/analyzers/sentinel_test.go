@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// Sentinel runs in every package; check it under a non-deterministic path
+// to pin that breadth.
+func TestSentinel(t *testing.T) {
+	analysistest.Run(t, analyzers.Sentinel,
+		"../testdata/src/sentinel", "crowdplanner/internal/server/sentinelfixture")
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestSuppression exercises the framework's annotation layer through a
+// sentinel-violating fixture: placement, the mandatory reason string,
+// unknown analyzer names, and malformed directives.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, analyzers.Sentinel,
+		"../testdata/src/suppress", "crowdplanner/internal/server/suppressfixture")
+}

@@ -1,0 +1,88 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Wallclock flags reads of the wall clock (time.Now/Since/Until) and draws
+// from the global math/rand source inside deterministic packages. Replays
+// are keyed by (seed, event log); a wall-clock read or an unseeded random
+// draw injects state the log does not capture. Seeded generators
+// (rand.New(rand.NewSource(seed))) and explicit SimTime values are the
+// sanctioned alternatives.
+//
+// Metrics, middleware, and the experiments harness measure real elapsed
+// time by design, so those package families are allowlisted.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now or global math/rand in deterministic packages (seeded sources only)",
+	Run:  runWallclock,
+}
+
+// wallclockAllow lists internal package families exempt even if they were
+// ever folded into the deterministic set: they exist to observe real time.
+var wallclockAllow = map[string]bool{
+	"experiments": true, // benchmark harness: wall-clock timings are the output
+	"server":      true, // metrics & middleware: request latencies are real time
+	"calibrate":   true, // fits against measured data
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// draw from the shared, non-replayable source. Constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) are fine: they are how seeded RNGs are built.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runWallclock(pass *analysis.Pass) {
+	path := pass.Pkg.Path
+	if !isDeterministic(path) || wallclockAllow[internalSegment(path)] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(info, call)
+			if f == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(f, "time", "Now", "Since", "Until"):
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic package %q: wall-clock reads break replay; thread a routing.SimTime (or take the instant as a parameter)",
+					f.Name(), internalSegment(path))
+			case isGlobalRand(f):
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the global math/rand source in deterministic package %q: use rand.New(rand.NewSource(seed)) threaded from Config.Seed",
+					f.Pkg().Path(), f.Name(), internalSegment(path))
+			}
+			return true
+		})
+	}
+}
+
+// isGlobalRand reports whether f is a math/rand or math/rand/v2
+// package-level function drawing from the shared source.
+func isGlobalRand(f *types.Func) bool {
+	if f.Pkg() == nil || !globalRandFuncs[f.Name()] {
+		return false
+	}
+	if p := f.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

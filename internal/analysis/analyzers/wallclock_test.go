@@ -1,0 +1,20 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analyzers.Wallclock,
+		"../testdata/src/wallclock", "crowdplanner/internal/routing/wallclockfixture")
+}
+
+// TestWallclockAllowlist checks wall-clock reads stay legal in the
+// measurement-oriented package families (experiments, server, calibrate).
+func TestWallclockAllowlist(t *testing.T) {
+	analysistest.Run(t, analyzers.Wallclock,
+		"../testdata/src/wallclock_allow", "crowdplanner/internal/experiments/allowfixture")
+}

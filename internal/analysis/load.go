@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader discovers, parses, and type-checks packages of the surrounding
+// module. It shells out to `go list -json` for package discovery (the one
+// piece of toolchain knowledge — build tags, module resolution — not worth
+// reimplementing), parses with go/parser, and type-checks module packages
+// itself in dependency order so intra-module imports resolve to already
+// checked packages; only standard-library imports fall through to the
+// go/importer source importer. Everything is stdlib: the module stays free
+// of external dependencies, x/tools included.
+//
+// Test files (*_test.go) are not analyzed: the invariants guard production
+// determinism and lock discipline, and tests legitimately use wall clocks,
+// throwaway goroutines, and unsorted iteration.
+type Loader struct {
+	// Dir is the working directory for `go list`; empty means the process
+	// working directory. It must sit inside the module under analysis.
+	Dir string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	checked map[string]*types.Package // import path -> checked module package
+	module  string                    // module path, e.g. "crowdplanner"
+}
+
+// NewLoader returns a loader rooted at dir ("" = current directory).
+func NewLoader(dir string) *Loader {
+	// The source importer reads stdlib from $GOROOT/src through go/build;
+	// with cgo disabled go/build selects the pure-Go file sets (netgo &c.),
+	// which always type-check. Analyzed module code is cgo-free either way.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Dir:     dir,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		checked: make(map[string]*types.Package),
+	}
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -json` over the patterns and decodes the stream.
+func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// modulePath resolves (and caches) the path of the module rooted at l.Dir.
+func (l *Loader) modulePath() (string, error) {
+	if l.module != "" {
+		return l.module, nil
+	}
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = l.Dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	l.module = strings.TrimSpace(string(out))
+	return l.module, nil
+}
+
+// Load discovers the packages matching the patterns, type-checks them (and
+// any module-internal dependencies) in dependency order, and returns them in
+// deterministic import-path order. Any parse or type error aborts the load:
+// cplint refuses to lint code that does not compile.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPkg, len(listed))
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+	}
+	// Dependency-first order. `go list` output is acyclic, so a plain DFS
+	// suffices; only intra-module edges matter (stdlib goes via l.std).
+	var order []*listPkg
+	state := make(map[string]int)
+	var visit func(p *listPkg)
+	visit = func(p *listPkg) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		order = append(order, p)
+	}
+	for _, p := range listed {
+		visit(p)
+	}
+
+	var out []*Package
+	for _, p := range order {
+		if len(p.GoFiles) == 0 {
+			continue // test-only or empty package: nothing to analyze
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of a single directory under
+// the given import path, resolving intra-module imports by loading them on
+// demand. The analysistest harness uses it to check testdata fixture
+// packages under scoping paths the analyzers react to (fixture directories
+// are invisible to `go list ./...`).
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !e.IsDir() {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(asPath, dir, files)
+}
+
+// check parses and type-checks one package.
+func (l *Loader) check(path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, f := range goFiles {
+		af, err := parser.ParseFile(l.fset, filepath.Join(dir, f), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	l.checked[path] = tpkg
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter resolves imports during type-checking: module-internal
+// paths come from the loader's already-checked set (loading on demand for
+// LoadDir fixtures), everything else from the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if mod, err := l.modulePath(); err == nil && mod != "" &&
+		(path == mod || strings.HasPrefix(path, mod+"/")) {
+		listed, err := l.goList([]string{path})
+		if err != nil {
+			return nil, err
+		}
+		if len(listed) != 1 {
+			return nil, fmt.Errorf("import %q: expected one package, got %d", path, len(listed))
+		}
+		pkg, err := l.check(listed[0].ImportPath, listed[0].Dir, listed[0].GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,69 @@
+// Package ctxflowfixture exercises the ctxflow analyzer (which runs in
+// every package).
+package ctxflowfixture
+
+import (
+	"context"
+	"net/http"
+)
+
+// Ignores advertises cancellation support it does not have.
+func Ignores(ctx context.Context, n int) int { // want "accepts ctx but never observes it"
+	return n * 2
+}
+
+// Blank discards the context outright.
+func Blank(_ context.Context) {} // want "discards its context.Context"
+
+// Unnamed cannot even reference its context.
+func Unnamed(context.Context) {} // want "unnamed context.Context"
+
+// Observes checks the context: fine.
+func Observes(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Forwards passes the context along: fine.
+func Forwards(ctx context.Context) error {
+	return Observes(ctx)
+}
+
+// unexportedIgnores is not part of the API surface; check 1 is scoped to
+// exported declarations (unexported helpers are the callee's business).
+func unexportedIgnores(ctx context.Context) {}
+
+// Handler fabricates a fresh context although r.Context() is in scope.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+	_ = r.Context()
+	w.WriteHeader(http.StatusOK)
+}
+
+// InnerLit: a literal nested in a ctx-taking function is still on the
+// request path.
+func InnerLit(ctx context.Context) func() error {
+	_ = ctx.Err()
+	return func() error {
+		inner := context.TODO() // want "context.TODO"
+		return inner.Err()
+	}
+}
+
+// Detached keeps a justified Background for work outliving the request.
+func Detached(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	//cplint:ignore ctxflow -- fixture: detached work must outlive the caller by design
+	bg := context.Background()
+	_ = bg
+	return nil
+}
+
+// NoCallerCtx has no caller context in scope: Background is the only
+// option and is not flagged.
+func NoCallerCtx() error {
+	ctx := context.Background()
+	return ctx.Err()
+}

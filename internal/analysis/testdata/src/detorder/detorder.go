@@ -1,0 +1,94 @@
+// Package detorderfixture exercises the detorder analyzer. It is checked
+// under a deterministic import path by the analysistest harness.
+package detorderfixture
+
+import (
+	"slices"
+	"sort"
+)
+
+// keysLeak lets map order escape into the returned slice.
+func keysLeak(m map[int]string) []int {
+	var out []int
+	for k := range m { // want "range over map m"
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted follows the collect-then-sort idiom: accepted without
+// annotation because a sort call follows the range in the same function.
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// slicesSorted uses the slices.Sort family, also recognized.
+func slicesSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// indirectSort sorts through a same-package helper the analyzer cannot see
+// into; the range still needs an annotation (or a visible sort call).
+func indirectSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m"
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// sliceRange ranges a slice, never flagged.
+func sliceRange(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// annotated drains a map with a justified order-irrelevance annotation.
+func annotated(m map[int]string) int {
+	n := 0
+	//cplint:ordered-irrelevant -- counting entries is commutative
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sortBeforeNotAfter sorts input first, then ranges a map: the sort does
+// not follow the range, so the range is still flagged.
+func sortBeforeNotAfter(xs []int, m map[int]bool) []int {
+	sort.Ints(xs)
+	var out []int
+	for k := range m { // want "range over map m"
+		out = append(out, k)
+	}
+	return out
+}
+
+// namedMapType is flagged through the named type's underlying map.
+type counts map[string]int
+
+func namedMap(c counts) []string {
+	var out []string
+	for k := range c { // want "range over map c"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortStrings(xs []string) {
+	sort.Strings(xs)
+}

@@ -1,0 +1,12 @@
+// Package scopefixture holds detorder-shaped violations and is checked
+// under a NON-deterministic import path: the analyzer must stay silent, so
+// this file carries no want comments.
+package scopefixture
+
+func keysLeak(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package sentinelfixture exercises the sentinel analyzer (which runs in
+// every package, deterministic or not).
+package sentinelfixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrNoCandidates = errors.New("no candidates")
+
+func eql(err error) bool {
+	return err == ErrNoCandidates // want "sentinel error ErrNoCandidates compared with =="
+}
+
+func neq(err error) bool {
+	return ErrNoCandidates != err // want "sentinel error ErrNoCandidates compared with !="
+}
+
+func stdlibSentinel(err error) bool {
+	return err == io.EOF // want "sentinel error EOF compared with =="
+}
+
+func good(err error) bool {
+	return errors.Is(err, ErrNoCandidates)
+}
+
+func nilCompare(err error) bool {
+	return err == nil
+}
+
+func wrapped() error {
+	return fmt.Errorf("mining: %w", ErrNoCandidates)
+}
+
+// localVar is not a package-level sentinel; untouched.
+func localVar(err error) bool {
+	errLocal := errors.New("local")
+	return err == errLocal
+}

@@ -1,0 +1,43 @@
+// Package suppressfixture exercises the framework's suppression layer:
+// placement (same line, line above), the required reason string, unknown
+// analyzer names, and malformed directives. It is run under the sentinel
+// analyzer, whose findings are the easiest to stage.
+package suppressfixture
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func suppressedSameLine(err error) bool {
+	return err == ErrBoom //cplint:ignore sentinel -- fixture: same-line suppression
+}
+
+func suppressedAbove(err error) bool {
+	//cplint:ignore sentinel -- fixture: standalone suppression covers the next line
+	return err == ErrBoom
+}
+
+func missingReason(err error) bool {
+	/*cplint:ignore sentinel*/ // want "requires a written justification"
+	return err == ErrBoom      // want "sentinel error ErrBoom compared with =="
+}
+
+func unknownAnalyzer(err error) bool {
+	/*cplint:ignore nosuchcheck -- typo*/ // want "unknown analyzer"
+	return err == ErrBoom                 // want "sentinel error ErrBoom compared with =="
+}
+
+func wrongAnalyzer(err error) bool {
+	//cplint:ignore detorder -- fixture: naming another analyzer must not silence sentinel
+	return err == ErrBoom // want "sentinel error ErrBoom compared with =="
+}
+
+func malformedDirective(err error) bool {
+	/*cplint:frobnicate -- nonsense*/ // want "malformed cplint annotation"
+	return err == ErrBoom             // want "sentinel error ErrBoom compared with =="
+}
+
+func emptyReason(err error) bool {
+	/*cplint:ignore sentinel -- */ // want "requires a written justification"
+	return err == ErrBoom          // want "sentinel error ErrBoom compared with =="
+}

@@ -1,0 +1,45 @@
+// Package wallclockfixture exercises the wallclock analyzer under a
+// deterministic import path.
+package wallclockfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want "time.Until in deterministic package"
+}
+
+// parameterized takes the instant as a parameter: the sanctioned shape.
+func parameterized(now time.Time, t0 time.Time) time.Duration {
+	return now.Sub(t0)
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source"
+}
+
+// seeded builds an explicit generator: constructors are not draws.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// annotated keeps a justified wall-clock read.
+func annotated() time.Time {
+	//cplint:ignore wallclock -- fixture: jitter source outside the replayed state
+	return time.Now()
+}

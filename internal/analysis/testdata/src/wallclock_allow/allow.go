@@ -1,0 +1,17 @@
+// Package allowfixture holds wallclock-shaped violations and is checked
+// under an allowlisted import path (experiments): the analyzer must stay
+// silent, so this file carries no want comments.
+package allowfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() time.Time {
+	return time.Now()
+}
+
+func jitter() int {
+	return rand.Intn(100)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"crowdplanner/internal/crowd"
 	"crowdplanner/internal/landmark"
@@ -287,6 +288,9 @@ func (s *System) PendingTasks(w worker.ID) []*PendingTask {
 			out = append(out, p)
 		}
 	}
+	// s.pending is a map: without this sort the slice order would change
+	// run to run and leak into worker-facing task listings.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -304,6 +308,7 @@ func (s *System) OpenTasks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
+	//cplint:ordered-irrelevant -- counting matches is commutative; no order reaches the caller
 	for _, p := range s.pending {
 		if p.State == TaskOpen {
 			n++

@@ -173,6 +173,7 @@ func (s *System) captureState() *store.State {
 
 	s.mu.Lock()
 	st.NextTaskID = s.nextTaskID
+	//cplint:ordered-irrelevant -- store.State.FoldEvents sorts OpenTasks by ID before serializing
 	for _, p := range s.pending {
 		if p.State == TaskOpen {
 			st.OpenTasks = append(st.OpenTasks, pendingToRecord(p))
@@ -183,6 +184,7 @@ func (s *System) captureState() *store.State {
 	s.poolMu.RLock()
 	for _, w := range s.pool.Workers {
 		ws := store.WorkerState{ID: int32(w.ID), Reward: w.Reward}
+		//cplint:ordered-irrelevant -- store.State.FoldEvents sorts each worker's history by landmark before serializing
 		for lm, h := range w.History {
 			ws.History = append(ws.History, store.HistoryEntry{
 				Landmark: int32(lm), Correct: int32(h.Correct), Wrong: int32(h.Wrong),

@@ -49,6 +49,7 @@ func (m *LDR) Mine(ds *traj.Dataset, from, to roadnet.NodeID, _ routing.SimTime)
 
 	// Each local expert votes with their personal most frequent route.
 	var expertVotes []roadnet.Route
+	//cplint:ordered-irrelevant -- modeRoute's (votes, route-key) argmax is vote-order independent
 	for _, routes := range byDriver {
 		if len(routes) < m.MinDriverTrips {
 			continue

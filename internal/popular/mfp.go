@@ -100,6 +100,7 @@ func (m *MFP) maxBottleneck(freq map[traj.Transition]int, from, to roadnet.NodeI
 // with frequency >= minFreq.
 func (m *MFP) shortestAtLeast(g *roadnet.Graph, freq map[traj.Transition]int, minFreq int, from, to roadnet.NodeID) (roadnet.Route, error) {
 	allowed := map[traj.Transition]bool{}
+	//cplint:ordered-irrelevant -- building a membership set; map-to-map copy has no observable order
 	for k, f := range freq {
 		if f >= minFreq {
 			allowed[k] = true

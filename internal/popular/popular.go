@@ -51,6 +51,7 @@ func adjacency(freq map[traj.Transition]int) map[roadnet.NodeID][]traj.Transitio
 	for k := range freq {
 		adj[k.From] = append(adj[k.From], k)
 	}
+	//cplint:ordered-irrelevant -- each bucket is sorted in place; visiting buckets in any order touches disjoint state
 	for _, ts := range adj {
 		sort.Slice(ts, func(i, j int) bool { return ts[i].To < ts[j].To })
 	}
@@ -123,6 +124,7 @@ func modeRoute(rs []roadnet.Route) (roadnet.Route, int, int) {
 		b.votes++
 	}
 	var best *bucket
+	//cplint:ordered-irrelevant -- argmax under the total order (votes desc, route key asc); the winner is visit-order independent
 	for _, bs := range groups {
 		for _, b := range bs {
 			switch {

@@ -106,6 +106,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 			if v == nil {
 				return
 			}
+			//cplint:ignore sentinel -- net/http contract: ErrAbortHandler is a panic value detected by identity, never wrapped
 			if v == http.ErrAbortHandler { // deliberate connection abort
 				panic(v)
 			}

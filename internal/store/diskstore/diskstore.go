@@ -328,6 +328,7 @@ func (s *Store) Load() (*store.State, error) {
 	if !haveSnapshot && records == 0 {
 		return nil, nil
 	}
+	//cplint:ordered-irrelevant -- st.FoldEvents below sorts OpenTasks by ID before anyone reads them
 	for _, t := range open {
 		st.OpenTasks = append(st.OpenTasks, *t)
 	}

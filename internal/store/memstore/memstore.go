@@ -177,6 +177,7 @@ func (s *Store) Load() (*store.State, error) {
 	for _, id := range s.taskClose {
 		delete(open, id)
 	}
+	//cplint:ordered-irrelevant -- st.FoldEvents below sorts OpenTasks by ID before anyone reads them
 	for _, t := range open {
 		st.OpenTasks = append(st.OpenTasks, *t)
 	}

@@ -70,9 +70,11 @@ func (f *footmarkGraph) clone() *footmarkGraph {
 		counts: make(map[Transition]int, len(f.counts)),
 		out:    make(map[roadnet.NodeID]int, len(f.out)),
 	}
+	//cplint:ordered-irrelevant -- map-to-map copy; key-addressed writes have no observable order
 	for k, v := range f.counts {
 		c.counts[k] = v
 	}
+	//cplint:ordered-irrelevant -- map-to-map copy; key-addressed writes have no observable order
 	for k, v := range f.out {
 		c.out[k] = v
 	}
@@ -196,6 +198,7 @@ func (idx *miningIndex) addBatch(g *roadnet.Graph, start int, trips []Trajectory
 		fg.add(tr.Route)
 	}
 	idx.global = global
+	//cplint:ordered-irrelevant -- each slot pointer is swapped independently under its own key
 	for s, fg := range cloned {
 		idx.slots[s] = fg
 	}
@@ -417,6 +420,7 @@ func (ds *Dataset) FootmarksNearHour(hour, window float64) (map[Transition]int, 
 		switch slotCoverage(s, hour, window) {
 		case slotOutside:
 		case slotFull:
+			//cplint:ordered-irrelevant -- commutative += accumulation into a key-addressed map
 			for t, c := range ds.idx.slots[s].counts {
 				freq[t] += c
 			}

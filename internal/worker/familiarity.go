@@ -127,6 +127,7 @@ func BuildMatrix(pool *Pool, lms *landmark.Set, cfg FamiliarityConfig) *Matrix {
 				}
 			}
 		}
+		//cplint:ordered-irrelevant -- each unseen landmark is Set once under its own (worker, landmark) key; Matrix.Each iterates sorted
 		for lid := range w.History {
 			if !seen[lid] {
 				if l := lms.Get(lid); l != nil {
@@ -196,6 +197,7 @@ func Accumulate(m *Matrix, lms *landmark.Set, cfg FamiliarityConfig) *Matrix {
 				acc[nb] += weights[l][i] * obs[l]
 			}
 		}
+		//cplint:ordered-irrelevant -- key-addressed Set per distinct landmark; Matrix.Each iterates sorted
 		for l, v := range acc {
 			if v > 0 {
 				out.Set(w, l, v)
