@@ -16,7 +16,11 @@ func scratchModule(t *testing.T, files map[string]string) string {
 	dir := t.TempDir()
 	files["go.mod"] = "module scratch\n\ngo 1.24\n"
 	for name, src := range files {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,10 +53,17 @@ func TestListExitsZeroAndNamesAllAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxflow", "detorder", "lockappend", "sentinel", "wallclock"} {
+	names := []string{
+		"cplint", "ctxflow", "detorder", "goroleak", "hotalloc",
+		"lockappend", "lockorder", "sentinel", "wallclock",
+	}
+	for _, name := range names {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
+	}
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != len(names) {
+		t.Errorf("-list printed %d lines, want %d (one per analyzer):\n%s", lines, len(names), out)
 	}
 }
 
@@ -89,6 +100,54 @@ func TestExitTwoOnLoadError(t *testing.T) {
 	code, _, errOut = runCplint(t, dir2, "./...")
 	if code != 2 {
 		t.Fatalf("type error: exit = %d, want 2 (stderr: %s)", code, errOut)
+	}
+}
+
+// TestPartialLoadStillAnalyzes pins the robustness contract: one broken
+// package must not abort the run. The loadable packages are analyzed, the
+// broken one is reported as a finding, and the exit code is 1 (findings),
+// not 2 (nothing analyzed).
+func TestPartialLoadStillAnalyzes(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"bad.go":           sentinelViolation,
+		"broken/broken.go": "package broken\n\nfunc Broken() int { return undefinedSymbol }\n",
+	})
+	code, out, _ := runCplint(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[sentinel]") {
+		t.Errorf("finding from the loadable package missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scratch/broken failed to load") {
+		t.Errorf("broken package not reported:\n%s", out)
+	}
+}
+
+// TestTimingFlag checks -timing emits the load/analyzer breakdown without
+// changing the exit code.
+func TestTimingFlag(t *testing.T) {
+	dir := scratchModule(t, map[string]string{"clean.go": cleanSrc})
+	code, out, errOut := runCplint(t, dir, "-timing", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, want := range []string{"timing: total", "timing: load", "timing: call graph", "timing: analyzers:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-timing output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = runCplint(t, dir, "-timing", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("-timing -json exit = %d, want 0", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-timing -json output is not JSON: %v\n%s", err, out)
+	}
+	if len(rep.LoadTimings) == 0 || len(rep.AnalyzerTimings) == 0 {
+		t.Errorf("timing sections empty: %+v", rep)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Package is one type-checked package ready for analysis: the parsed files
@@ -57,13 +58,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named invariant check. Run inspects a single package and
-// reports findings through the pass; it must not retain the pass.
+// Analyzer is one named invariant check. Exactly one of Run and RunModule is
+// set (both nil marks a framework-level entry that is documented in -list
+// but executed by the framework itself, like the annotation checker). Run
+// inspects a single package; RunModule runs once over the whole analyzed
+// package set with a shared call graph — the shape interprocedural checks
+// (cross-package lock discipline, goroutine lifetimes) need. Neither may
+// retain its pass.
 type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `cplint -list`.
-	Doc string
-	Run func(*Pass)
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) execution.
@@ -82,6 +89,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one (analyzer, module) execution: every analyzed
+// package plus the call graph built over them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+	fset     *token.FileSet
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves pos against the shared file set.
+func (p *ModulePass) Position(pos token.Pos) token.Position { return p.fset.Position(pos) }
+
 // Result is the outcome of running analyzers over packages.
 type Result struct {
 	// Diagnostics holds the unsuppressed findings, sorted by position then
@@ -89,26 +118,58 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed counts findings silenced by well-formed annotations.
 	Suppressed int
+	// AnalyzerTimings reports per-analyzer wall time (summed over packages
+	// for per-package analyzers), in catalogue order. Surfaced by -timing.
+	AnalyzerTimings []Timing
+	// CallGraphTime is the time spent building the shared call graph, zero
+	// when no module analyzer ran.
+	CallGraphTime time.Duration
+}
+
+// Timing is one named duration for the -timing report.
+type Timing struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration"`
 }
 
 // Run executes every analyzer over every package, applies the per-line
-// suppression annotations, and returns the surviving findings. known lists
-// every analyzer name the suppression vocabulary accepts — pass the full
-// registry even when only a subset runs, so `cplint -only wallclock` does not
-// misreport annotations that reference other analyzers.
+// suppression annotations, and returns the surviving findings. Module
+// analyzers run once over the whole set, sharing one call graph (built only
+// if some selected analyzer needs it). known lists every analyzer name the
+// suppression vocabulary accepts — pass the full registry even when only a
+// subset runs, so `cplint -only wallclock` does not misreport annotations
+// that reference other analyzers.
 func Run(pkgs []*Package, analyzers []*Analyzer, known []string) Result {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
-			}
-			a.Run(pass)
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	var res Result
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule != nil && graph == nil {
+			start := time.Now()
+			graph = BuildCallGraph(pkgs)
+			res.CallGraphTime = time.Since(start)
 		}
 	}
-	res := applySuppressions(diags, pkgs, known)
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	for _, a := range analyzers {
+		start := time.Now()
+		switch {
+		case a.RunModule != nil:
+			a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, fset: fset, report: report})
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+			}
+		}
+		res.AnalyzerTimings = append(res.AnalyzerTimings, Timing{Name: a.Name, Duration: time.Since(start)})
+	}
+	sup := applySuppressions(diags, pkgs, known)
+	res.Diagnostics, res.Suppressed = sup.Diagnostics, sup.Suppressed
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {

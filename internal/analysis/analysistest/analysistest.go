@@ -18,7 +18,9 @@
 package analysistest
 
 import (
+	"path/filepath"
 	"regexp"
+	"sort"
 	"testing"
 
 	"crowdplanner/internal/analysis"
@@ -48,29 +50,66 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	res := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, analyzers.Names())
+	pkgs := []*analysis.Package{pkg}
+	res := analysis.Run(pkgs, []*analysis.Analyzer{a}, analyzers.Names())
+	diffWants(t, pkgs, res.Diagnostics)
+}
 
+// RunModule loads a multi-package fixture module: pkgs maps import paths to
+// subdirectories of dir. Every package is registered as a fixture first, so
+// the packages may import each other under those paths (which is the point —
+// module analyzers are exercised on cross-package shapes per-package
+// fixtures cannot express). Findings are diffed against want comments across
+// all packages.
+func RunModule(t *testing.T, a *analysis.Analyzer, dir string, pkgs map[string]string) {
+	t.Helper()
+	loader := analysis.NewLoader("")
+	paths := make([]string, 0, len(pkgs))
+	for path, sub := range pkgs {
+		loader.RegisterFixture(path, filepath.Join(dir, sub))
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var loaded []*analysis.Package
+	for _, path := range paths {
+		pkg, err := loader.LoadDir(filepath.Join(dir, pkgs[path]), path)
+		if err != nil {
+			t.Fatalf("loading fixture %s (%s): %v", pkgs[path], path, err)
+		}
+		loaded = append(loaded, pkg)
+	}
+	res := analysis.Run(loaded, []*analysis.Analyzer{a}, analyzers.Names())
+	diffWants(t, loaded, res.Diagnostics)
+}
+
+// diffWants collects the packages' want comments and diffs diags against
+// them: every diagnostic must match a want on its line, every want must be
+// consumed by a diagnostic.
+func diffWants(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := commentWantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, q := range wantRE.FindAllStringSubmatch(m[1], -1) {
-					re, err := regexp.Compile(q[1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := commentWantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
 				}
 			}
 		}
 	}
 
-	for _, d := range res.Diagnostics {
+	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
 			if w.re == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {

@@ -1,0 +1,147 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Goroleak requires every goroutine launched outside package main to have a
+// provable termination signal: the spawned body must observe a
+// context.Context (Done/Err/Deadline), receive from a channel (directly,
+// via range, or via select), or account itself to a sync.WaitGroup
+// (Done/Wait). A goroutine with none of those runs until process exit,
+// holding its captures alive — in a server that ingests trajectory streams
+// for days, "one goroutine per request that never returns" is a slow OOM
+// with no stack trace pointing at the launch site.
+//
+// Observation summaries propagate through statically resolved calls: a
+// goroutine whose body calls helper() is fine if helper (transitively)
+// observes a signal. The propagation is lenient about nested function
+// literals — an observation inside one still counts, since requiring proof
+// that the literal runs would flag every worker that installs its receive
+// loop via a closure. Calls through interfaces or function values cannot be
+// expanded, so a goroutine whose only hope of termination sits behind one is
+// reported: unprovable counts as leaked until annotated with a reason.
+var Goroleak = &analysis.Analyzer{
+	Name:      "goroleak",
+	Doc:       "goroutines outside package main must observe ctx/channel/WaitGroup termination signals",
+	RunModule: runGoroleak,
+}
+
+func runGoroleak(pass *analysis.ModulePass) {
+	g := pass.Graph
+
+	// Fixpoint over observation summaries: does this function (or anything it
+	// statically calls) observe a termination signal?
+	obs := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if obs[n.Func] {
+				continue
+			}
+			if observesSignal(g, n.Pkg.Info, n.Decl.Body, obs) {
+				obs[n.Func] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, pkg := range pass.Pkgs {
+		if pkg.Types.Name() == "main" {
+			continue // main wires shutdown by hand; its goroutines die with it
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if goroutineObserves(g, pkg.Info, gs, obs) {
+					return true
+				}
+				pass.Reportf(gs.Pos(),
+					"goroutine has no provable termination signal: its body never observes a context (Done/Err/Deadline), receives from a channel, or touches a sync.WaitGroup — plumb ctx or a done channel through, or annotate why it cannot leak")
+				return true
+			})
+		}
+	}
+}
+
+// goroutineObserves decides whether the goroutine launched by gs provably
+// observes a termination signal.
+func goroutineObserves(g *analysis.CallGraph, info *types.Info, gs *ast.GoStmt, obs map[*types.Func]bool) bool {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return observesSignal(g, info, fun.Body, obs)
+	default:
+		f := calleeFunc(info, gs.Call)
+		if f == nil {
+			return false // function value: unprovable
+		}
+		if isSignalObservation(f) {
+			return true // e.g. go wg.Wait()
+		}
+		node := g.Node(f)
+		return node != nil && obs[node.Func]
+	}
+}
+
+// observesSignal reports whether root contains a direct termination-signal
+// observation or a statically resolved call to a function that does. Nested
+// function literals are included (lenient).
+func observesSignal(g *analysis.CallGraph, info *types.Info, root ast.Node, obs map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true // channel receive
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true // range over channel drains until close
+				}
+			}
+		case *ast.SelectStmt:
+			found = true // select blocks on its channels; treat as observing
+		case *ast.CallExpr:
+			f := calleeFunc(info, x)
+			if f == nil {
+				return true
+			}
+			if isSignalObservation(f) {
+				found = true
+				return false
+			}
+			if node := g.Node(f); node != nil && obs[node.Func] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSignalObservation classifies f as a direct termination-signal API:
+// context.Context's Done/Err/Deadline, or sync.WaitGroup's Done/Wait.
+func isSignalObservation(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if f.Pkg().Path() == "context" {
+		switch f.Name() {
+		case "Done", "Err", "Deadline":
+			return true
+		}
+		return false
+	}
+	return isMethodOn(f, "sync", "WaitGroup", "Done", "Wait")
+}

@@ -1,0 +1,21 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestGoroleak checks the leaked/observed goroutine pairs: observation
+// through a cross-package static call chain, literal bodies with and without
+// a signal, WaitGroup accounting, the unprovable function-value spawn, and
+// the package-main exemption.
+func TestGoroleak(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Goroleak,
+		"../testdata/mod/goroleak", map[string]string{
+			"crowdplanner/internal/worker/leakhelper": "leakhelper",
+			"crowdplanner/internal/worker/leakuse":    "leakuse",
+			"crowdplanner/internal/worker/leakmain":   "leakmain",
+		})
+}

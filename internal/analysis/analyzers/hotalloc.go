@@ -1,0 +1,359 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Hotalloc enforces allocation-freedom for functions annotated
+// //cplint:hotpath. The PR 5 routing rework got the search inner loop from
+// 283 allocations per query down to one sanctioned slice; this analyzer
+// turns that benchmark result into an invariant — a future edit that slips a
+// fmt.Sprintf or a fresh closure into the search kernel fails cplint instead
+// of failing a profiler run three releases later.
+//
+// Flagged allocation sites, chosen to match what Go's escape analysis cannot
+// keep on the stack in practice:
+//
+//   - slice and map composite literals, and &T{...} (address-taken literals)
+//   - make and new
+//   - append whose destination is not a reused (field-selector) slice — the
+//     pooled-workspace pattern appends to s.buf, which amortizes; appending
+//     to a fresh local grows fresh backing arrays
+//   - non-constant string concatenation, and string ↔ []byte/[]rune
+//     conversions
+//   - function literals that capture variables (closure headers escape)
+//   - calls to known-allocating stdlib helpers (fmt.Sprintf, errors.New,
+//     strings.Join, sort.Slice, strconv.Itoa, ...)
+//
+// The check is transitive over statically resolved calls: a hotpath function
+// calling a helper that allocates is flagged at the call, with the chain to
+// the allocation. Calls to functions that are themselves annotated hotpath
+// are not re-flagged (each hotpath function is checked at its own sites),
+// and dynamic sites (interface dispatch — e.g. a cost.Cost implementation —
+// and function values) are not expanded: a documented gap, not a license.
+//
+// A //cplint:hotpath comment that is not the doc comment of a function
+// declaration marks nothing and is itself reported.
+var Hotalloc = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "functions annotated //cplint:hotpath must be allocation-free (transitively, over static calls)",
+	RunModule: runHotalloc,
+}
+
+const hotpathDirective = "//cplint:hotpath"
+
+// allocSite is one direct allocation with a human description.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// allocEntry summarizes a function that can reach an allocation: the first
+// direct site (by source order at the seed) and the next hop toward it.
+type allocEntry struct {
+	site allocSite
+	via  *types.Func // nil when the allocation is in this function
+}
+
+func runHotalloc(pass *analysis.ModulePass) {
+	g := pass.Graph
+
+	// Hotpath annotations, and misplaced ones.
+	hot := make(map[*types.Func]bool)
+	for _, n := range g.Nodes() {
+		if hasHotpathDoc(n.Decl.Doc) {
+			hot[n.Func] = true
+		}
+	}
+	reportDanglingHotpath(pass)
+
+	// Direct allocation sites per function, in source order.
+	direct := make(map[*types.Func][]allocSite)
+	for _, n := range g.Nodes() {
+		if sites := allocSites(n.Pkg.Info, n.Decl); len(sites) > 0 {
+			direct[n.Func] = sites
+		}
+	}
+
+	// Transitive alloc-reachability over static, non-deferred-irrelevant
+	// edges (deferred calls still run on the hot path's exit; included).
+	reach := make(map[*types.Func]allocEntry)
+	for _, n := range g.Nodes() {
+		if sites := direct[n.Func]; len(sites) > 0 {
+			reach[n.Func] = allocEntry{site: sites[0]}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if _, done := reach[n.Func]; done {
+				continue
+			}
+			for _, site := range n.Out {
+				if site.Dynamic || site.InLiteral || site.Callee == nil {
+					continue
+				}
+				callee := g.Node(site.Callee)
+				if callee == nil {
+					continue
+				}
+				if sub, ok := reach[callee.Func]; ok {
+					reach[n.Func] = allocEntry{site: sub.site, via: callee.Func}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Report. Direct sites first (source order), then allocating calls.
+	for _, n := range g.Nodes() {
+		if !hot[n.Func] {
+			continue
+		}
+		for _, s := range direct[n.Func] {
+			pass.Reportf(s.pos,
+				"%s in //cplint:hotpath function %s: hot kernels must be allocation-free — reuse a pooled buffer, hoist to setup, or annotate why this site is sanctioned",
+				s.desc, analysis.FuncDisplay(n.Func))
+		}
+		for _, site := range n.Out {
+			if site.Dynamic || site.InLiteral || site.Callee == nil {
+				continue
+			}
+			callee := g.Node(site.Callee)
+			if callee == nil || hot[callee.Func] {
+				continue // hotpath callees are checked at their own sites
+			}
+			if entry, ok := reach[callee.Func]; ok {
+				pass.Reportf(site.Call.Pos(),
+					"call from //cplint:hotpath function %s reaches an allocation: %s — make the callee allocation-free (and annotate it hotpath) or hoist this call out of the kernel",
+					analysis.FuncDisplay(n.Func), renderAllocChain(callee.Func, entry, reach))
+			}
+		}
+	}
+}
+
+// renderAllocChain renders "helper → deeper → <desc>" starting at f.
+func renderAllocChain(f *types.Func, entry allocEntry, reach map[*types.Func]allocEntry) string {
+	out := analysis.FuncDisplay(f)
+	for i := 0; entry.via != nil && i < 64; i++ {
+		f = entry.via
+		out += " → " + analysis.FuncDisplay(f)
+		entry = reach[f]
+	}
+	return out + " → " + entry.site.desc
+}
+
+// isHotpathComment matches the directive in either comment form
+// (//cplint:hotpath or /*cplint:hotpath*/), mirroring how the suppression
+// parser normalizes annotation text.
+func isHotpathComment(c *ast.Comment) bool {
+	text := c.Text
+	if strings.HasPrefix(text, "/*") {
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+	} else {
+		text = strings.TrimPrefix(text, "//")
+	}
+	return strings.TrimSpace(text) == strings.TrimPrefix(hotpathDirective, "//")
+}
+
+// hasHotpathDoc reports whether a doc comment group carries the hotpath
+// directive on a line of its own.
+func hasHotpathDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isHotpathComment(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportDanglingHotpath flags hotpath comments that are not part of a
+// function declaration's doc comment — they mark nothing.
+func reportDanglingHotpath(pass *analysis.ModulePass) {
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			attached := make(map[*ast.CommentGroup]bool)
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+					attached[fd.Doc] = true
+				}
+			}
+			for _, cg := range file.Comments {
+				if attached[cg] {
+					continue
+				}
+				for _, c := range cg.List {
+					if isHotpathComment(c) {
+						pass.Reportf(c.Pos(),
+							"misplaced //cplint:hotpath: the directive must be part of a function declaration's doc comment; here it marks nothing")
+					}
+				}
+			}
+		}
+	}
+}
+
+// allocSites scans fd's body for direct allocation sites, in source order.
+// Nested function literals are scanned too — code inside them still executes
+// on the hot path when the literal is invoked, and the literal itself is
+// flagged when it captures.
+func allocSites(info *types.Info, fd *ast.FuncDecl) []allocSite {
+	var sites []allocSite
+	add := func(pos token.Pos, desc string) {
+		sites = append(sites, allocSite{pos: pos, desc: desc})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[x]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				add(x.Pos(), "slice literal allocates a backing array")
+			case *types.Map:
+				add(x.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					add(x.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				tv, ok := info.Types[x]
+				if ok && tv.Value == nil && isStringType(tv.Type) {
+					add(x.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if v := capturedVar(info, x); v != "" {
+				add(x.Pos(), "function literal capturing "+v+" allocates a closure")
+			}
+		case *ast.CallExpr:
+			classifyAllocCall(info, x, add)
+		}
+		return true
+	})
+	return sites
+}
+
+// classifyAllocCall flags allocating calls: make/new, append to a non-reused
+// destination, allocating string conversions, and known-allocating stdlib
+// helpers.
+func classifyAllocCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				// Appending to a field slice (s.buf) is the sanctioned pooled-
+				// workspace pattern: capacity amortizes across calls. Appending
+				// to anything else grows fresh backing arrays.
+				if len(call.Args) > 0 {
+					if _, reused := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); !reused {
+						add(call.Pos(), "append to a non-reused slice may allocate")
+					}
+				}
+			}
+			return
+		}
+	}
+	// Conversion: string ↔ []byte / []rune copies.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		if src, ok := info.Types[call.Args[0]]; ok && allocatingConversion(src.Type, dst) {
+			add(call.Pos(), "string conversion copies its data")
+			return
+		}
+	}
+	if f := calleeFunc(info, call); f != nil && f.Pkg() != nil {
+		name := f.Pkg().Path() + "." + f.Name()
+		sig, _ := f.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil {
+			switch name {
+			case "fmt.Sprintf", "fmt.Sprint", "fmt.Sprintln", "fmt.Errorf",
+				"errors.New", "strings.Join", "strings.Repeat", "strings.Split",
+				"strings.Fields", "sort.Slice", "sort.SliceStable",
+				"strconv.Itoa", "strconv.FormatInt", "strconv.FormatFloat",
+				"strconv.Quote":
+				add(call.Pos(), name+" allocates")
+				return
+			}
+		}
+		// A variadic call with arguments in the variadic position allocates
+		// the ...T slice at the call site (passing an existing slice with ...
+		// does not).
+		if sig != nil && sig.Variadic() && call.Ellipsis == token.NoPos &&
+			len(call.Args) >= sig.Params().Len() {
+			add(call.Pos(), "variadic call to "+f.Name()+" allocates its argument slice")
+		}
+	}
+}
+
+// allocatingConversion reports whether converting src to dst copies data:
+// string ↔ []byte or []rune in either direction.
+func allocatingConversion(src, dst types.Type) bool {
+	return (isStringType(src) && isByteOrRuneSlice(dst)) ||
+		(isByteOrRuneSlice(src) && isStringType(dst))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturedVar returns the name of one variable the literal captures from its
+// enclosing function, "" when it captures nothing. Package-level variables
+// and struct fields are not captures (no closure header needed for globals;
+// fields ride on their receiver).
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level: referenced directly, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}

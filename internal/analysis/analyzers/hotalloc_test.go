@@ -1,0 +1,20 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestHotalloc checks one finding per flagged allocation kind inside a
+// //cplint:hotpath function, the transitive chain through a helper package,
+// the sanctioned pooled-append + suppressed-make shape, and the
+// misplaced-directive diagnostic.
+func TestHotalloc(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Hotalloc,
+		"../testdata/mod/hotalloc", map[string]string{
+			"crowdplanner/internal/routing/allochelp": "allochelp",
+			"crowdplanner/internal/routing/hotuse":    "hotuse",
+		})
+}

@@ -1,7 +1,6 @@
 package analyzers
 
 import (
-	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
@@ -16,192 +15,89 @@ import (
 // mutex). The walBatch pattern — collect records under the lock, flush after
 // unlocking — is the sanctioned shape.
 //
-// Detection is package-local but transitive: each function gets an I/O
-// summary (direct calls into crowdplanner/internal/store append/sync/load
-// methods, os file operations, net dials, http round-trips), summaries
-// propagate over same-package static calls to a fixpoint, and any call whose
-// summary is non-empty is flagged when it appears between a Lock/RLock and
-// the matching Unlock (a deferred unlock holds to function end). Calls
-// inside nested function literals are skipped: their execution time is not
-// tied to the region. Cross-package calls (other than into the store layer)
-// are not expanded.
+// Detection is module-wide and transitive: the shared call graph propagates
+// each function's I/O summary across package boundaries, so a mutex-held
+// region in core that calls into internal/traj which calls a store append is
+// flagged at the region, with the full call chain in the finding
+// (core.IngestTrips → traj.ingest → store append/IO (Log.Append)).
+// Reachability follows statically resolved calls only; calls through
+// interfaces and function values are not expanded (conservative unknown
+// callees) — except that a call to a store-layer interface method is itself
+// classified as I/O by its declared contract, which is how calls through the
+// store.Store interface are caught without knowing the backend. Calls inside
+// nested function literals are skipped both as region contents and as
+// summary contributors: their execution time is not tied to the enclosing
+// function.
 //
 // The store packages themselves are exempt — serializing file writes under
 // the store's own append mutex is their job, not a violation.
 var Lockappend = &analysis.Analyzer{
-	Name: "lockappend",
-	Doc:  "no store append/fsync/file/network I/O reachable while a sync mutex is held",
-	Run:  runLockappend,
+	Name:      "lockappend",
+	Doc:       "no store append/fsync/file/network I/O reachable (module-wide) while a sync mutex is held",
+	RunModule: runLockappend,
 }
 
-// storePathPrefix scopes "calls into the storage layer". Matched by path
-// suffix segment so the real tree and fixtures both resolve.
+// storePkgSegment scopes "calls into the storage layer". Matched by the path
+// segment after internal/ so the real tree and fixtures both resolve.
 const storePkgSegment = "store"
 
-func runLockappend(pass *analysis.Pass) {
-	if internalSegment(pass.Pkg.Path) == storePkgSegment {
-		return
+func inStoreLayer(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
 	}
-	info := pass.Pkg.Info
-
-	// Pass 1: direct I/O per declared function, and the same-package static
-	// call graph.
-	type fnInfo struct {
-		decl    *ast.FuncDecl
-		io      string                    // description of first direct I/O, "" if none
-		ioPos   token.Pos                 // where it happens
-		callees map[*types.Func]token.Pos // same-package static calls
-	}
-	fns := make(map[*types.Func]*fnInfo)
-	for _, file := range pass.Pkg.Files {
-		for _, fd := range enclosingFuncs(file) {
-			obj, ok := info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			fi := &fnInfo{decl: fd, callees: make(map[*types.Func]token.Pos)}
-			fns[obj] = fi
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				f := calleeFunc(info, call)
-				if f == nil {
-					return true
-				}
-				if desc := directIO(f); desc != "" && fi.io == "" {
-					fi.io, fi.ioPos = desc, call.Pos()
-				}
-				if f.Pkg() == pass.Pkg.Types {
-					if _, seen := fi.callees[f]; !seen {
-						fi.callees[f] = call.Pos()
-					}
-				}
-				return true
-			})
-		}
-	}
-
-	// Pass 2: propagate reachability to a fixpoint. reach[f] explains how f
-	// gets to I/O ("appends via flush → store.TruthLog.Append").
-	reach := make(map[*types.Func]string)
-	for f, fi := range fns {
-		if fi.io != "" {
-			reach[f] = fi.io
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for f, fi := range fns {
-			if _, done := reach[f]; done {
-				continue
-			}
-			for callee := range fi.callees {
-				if via, ok := reach[callee]; ok {
-					reach[f] = callee.Name() + " → " + via
-					changed = true
-					break
-				}
-			}
-		}
-	}
-
-	// Pass 3: scan lock regions.
-	for _, file := range pass.Pkg.Files {
-		for _, fd := range enclosingFuncs(file) {
-			checkLockRegions(pass, info, fd, reach)
-		}
-	}
+	return internalSegment(f.Pkg().Path()) == storePkgSegment
 }
 
-// lockEvent is one Lock/RLock/Unlock/RUnlock call in a function body.
-type lockEvent struct {
-	pos      token.Pos
-	recv     string // rendered receiver expression, e.g. "s.mu"
-	acquire  bool
-	deferred bool
-}
+func runLockappend(pass *analysis.ModulePass) {
+	// Module-wide I/O reachability. Direct hits use the declared callee even
+	// at dynamic sites (a store.Store interface call appends by contract);
+	// traversal stops at the store layer — its interior I/O is its own
+	// business, callers are charged at the boundary call.
+	reach := pass.Graph.Reach(
+		func(site analysis.CallSite) string { return directIO(site.Callee) },
+		func(f *types.Func) bool { return !inStoreLayer(f) },
+	)
 
-// checkLockRegions finds held-lock spans in fd and reports I/O calls inside.
-func checkLockRegions(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl, reach map[*types.Func]string) {
-	var events []lockEvent
-	type ioSite struct {
-		pos  token.Pos
-		desc string
-	}
-	var ios []ioSite
-
-	// Walk the body outside function literals: a call inside a nested
-	// literal does not execute at its textual position.
-	var walk func(n ast.Node, inDefer bool)
-	walk = func(root ast.Node, inDefer bool) {
-		ast.Inspect(root, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.FuncLit:
-				return false
-			case *ast.DeferStmt:
-				walk(x.Call, true)
-				return false
-			case *ast.CallExpr:
-				f := calleeFunc(info, x)
-				if f == nil {
-					return true
-				}
-				if kind, isLock := mutexOp(f); isLock {
-					recv := ""
-					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
-						recv = exprString(sel.X)
-					}
-					events = append(events, lockEvent{
-						pos: x.Pos(), recv: recv,
-						acquire:  kind == "Lock" || kind == "RLock",
-						deferred: inDefer,
-					})
-					return true
-				}
-				if desc := directIO(f); desc != "" {
-					ios = append(ios, ioSite{x.Pos(), desc})
-				} else if via, ok := reach[f]; ok {
-					ios = append(ios, ioSite{x.Pos(), f.Name() + " → " + via})
-				}
-			}
-			return true
-		})
-	}
-	walk(fd.Body, false)
-
-	for _, acq := range events {
-		if !acq.acquire {
+	for _, pkg := range pass.Pkgs {
+		if internalSegment(pkg.Path) == storePkgSegment {
 			continue
 		}
-		// Region end: first plain release of the same receiver after the
-		// acquire; if only deferred releases (or none) exist, the lock is
-		// held to function end.
-		end := fd.Body.End()
-		for _, rel := range events {
-			if !rel.acquire && !rel.deferred && rel.recv == acq.recv && rel.pos > acq.pos && rel.pos < end {
-				end = rel.pos
-			}
-		}
-		for _, io := range ios {
-			if io.pos > acq.pos && io.pos < end {
-				pass.Reportf(io.pos,
-					"%s reachable while %s is locked (acquired at line %d): appends never run under core locks — buffer under the lock, flush after unlocking, or annotate why this cannot block",
-					io.desc, acq.recv, pass.Pkg.Fset.Position(acq.pos).Line)
+		for _, file := range pkg.Files {
+			for _, fd := range enclosingFuncs(file) {
+				events, calls := scanLockBody(pkg.Info, fd)
+				if len(events) == 0 {
+					continue
+				}
+				// Classify each call site once: direct I/O by declared
+				// callee, else the rendered call chain to the I/O it reaches.
+				type ioSite struct {
+					pos  token.Pos
+					desc string
+				}
+				var ios []ioSite
+				for _, c := range calls {
+					if desc := directIO(c.callee); desc != "" {
+						ios = append(ios, ioSite{c.pos, desc})
+					} else if _, ok := reach.Reaches(c.callee); ok {
+						ios = append(ios, ioSite{c.pos, reach.Chain(c.callee)})
+					}
+				}
+				for _, acq := range events {
+					if !acq.acquire {
+						continue
+					}
+					end := regionEnd(acq, events, fd.Body.End())
+					for _, io := range ios {
+						if io.pos > acq.pos && io.pos < end {
+							pass.Reportf(io.pos,
+								"%s reachable while %s is locked (acquired at line %d): appends never run under core locks — buffer under the lock, flush after unlocking, or annotate why this cannot block",
+								io.desc, acq.recv, pass.Position(acq.pos).Line)
+						}
+					}
+				}
 			}
 		}
 	}
-}
-
-// mutexOp classifies f as a sync.Mutex/RWMutex lock-family method.
-func mutexOp(f *types.Func) (string, bool) {
-	switch {
-	case isMethodOn(f, "sync", "Mutex", "Lock", "Unlock"),
-		isMethodOn(f, "sync", "RWMutex", "Lock", "Unlock", "RLock", "RUnlock"):
-		return f.Name(), true
-	}
-	return "", false
 }
 
 // directIO describes why a call is blocking I/O, or returns "".

@@ -18,3 +18,15 @@ func TestLockappendStoreExempt(t *testing.T) {
 	analysistest.Run(t, analyzers.Lockappend,
 		"../testdata/src/lockappend_store", "crowdplanner/internal/store/walfixture")
 }
+
+// TestLockappendCrossPackageChain checks the module-wide case: the locked
+// region lives in a core package, the append two static hops away behind a
+// helper package, and the finding renders the full call chain.
+func TestLockappendCrossPackageChain(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Lockappend,
+		"../testdata/mod/lockappend_chain", map[string]string{
+			"crowdplanner/internal/core/chaincore":   "chaincore",
+			"crowdplanner/internal/traj/chainingest": "chainingest",
+			"crowdplanner/internal/store/chainwal":   "chainwal",
+		})
+}

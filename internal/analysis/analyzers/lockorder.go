@@ -1,0 +1,324 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Lockorder builds a module-wide mutex acquisition-order graph and reports
+// every cycle as a potential deadlock. Mutexes are identified canonically
+// (core.System.mu, truth.DB.mu — one identity per declared field, see
+// mutexKey); an edge A → B means some execution acquires B while holding A,
+// either directly in one function or through a chain of statically resolved
+// calls (held-set analysis over the call graph). Two goroutines walking a
+// cycle from different ends block each other forever, so any cycle —
+// including the one-node cycle of re-acquiring a held non-reentrant mutex —
+// is a finding, reported once with the witness path for every edge on it.
+//
+// The held-set analysis is a linear source-order scan per function (the same
+// approximation lockappend's regions use): an early return between Lock and
+// a later Unlock over-approximates the held set, and calls through
+// interfaces or function values are not expanded. Documented order for the
+// core (DESIGN §6): mu before poolMu; this analyzer is what turns that
+// sentence into a build failure.
+var Lockorder = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisition-order graph over the module call graph must be acyclic (deadlock freedom)",
+	RunModule: runLockorder,
+}
+
+// acqVia records how a function comes to acquire a mutex: directly at pos,
+// or by calling via (whose own summary continues the chain).
+type acqVia struct {
+	pos token.Pos   // the direct acquisition site (in whichever function holds it)
+	via *types.Func // next hop, nil when the acquire is in this function
+}
+
+// lockEdge is one acquisition-order edge with its first witness.
+type lockEdge struct {
+	from, to string
+	// witness fields: fn is the function whose region witnesses the edge.
+	fn      *types.Func
+	heldPos token.Pos // where from was acquired
+	acqPos  token.Pos // the call/acquire site establishing to
+	chain   string    // rendered path from the region to the acquire of to
+}
+
+func runLockorder(pass *analysis.ModulePass) {
+	g := pass.Graph
+
+	// Per-function lock events and call sites, in source order.
+	type fnScan struct {
+		events []lockEvent
+		calls  []regionCall
+	}
+	scans := make(map[*types.Func]fnScan)
+	for _, n := range g.Nodes() {
+		ev, calls := scanLockBody(n.Pkg.Info, n.Decl)
+		if len(ev) > 0 || len(calls) > 0 {
+			scans[n.Func] = fnScan{events: ev, calls: calls}
+		}
+	}
+
+	// mayAcquire fixpoint: every mutex a function may acquire, directly or
+	// through statically resolved calls, with the first-discovered chain.
+	may := make(map[*types.Func]map[string]acqVia)
+	for _, n := range g.Nodes() {
+		sc, ok := scans[n.Func]
+		if !ok {
+			continue
+		}
+		for _, ev := range sc.events {
+			if !ev.acquire || ev.key == "" {
+				continue
+			}
+			if may[n.Func] == nil {
+				may[n.Func] = make(map[string]acqVia)
+			}
+			if _, seen := may[n.Func][ev.key]; !seen {
+				may[n.Func][ev.key] = acqVia{pos: ev.pos}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			sc, ok := scans[n.Func]
+			if !ok {
+				continue
+			}
+			for _, c := range sc.calls {
+				callee := calleeNodeFunc(g, c.callee)
+				if callee == nil {
+					continue
+				}
+				for key, sub := range may[callee] {
+					if _, seen := may[n.Func][key]; seen {
+						continue
+					}
+					if may[n.Func] == nil {
+						may[n.Func] = make(map[string]acqVia)
+					}
+					may[n.Func][key] = acqVia{pos: sub.pos, via: callee}
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Edge construction: scan each function's merged event/call stream with
+	// a running held set.
+	edges := make(map[[2]string]lockEdge)
+	addEdge := func(e lockEdge) {
+		k := [2]string{e.from, e.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = e
+		}
+	}
+	for _, n := range g.Nodes() {
+		sc, ok := scans[n.Func]
+		if !ok {
+			continue
+		}
+		held := make(map[string]lockEvent)
+		ci := 0
+		for _, ev := range sc.events {
+			// Process call sites preceding this event.
+			for ; ci < len(sc.calls) && sc.calls[ci].pos < ev.pos; ci++ {
+				emitCallEdges(g, n.Func, sc.calls[ci], held, may, addEdge)
+			}
+			if ev.key == "" {
+				continue
+			}
+			if ev.acquire {
+				for _, h := range sortedHeld(held) {
+					addEdge(lockEdge{from: h.key, to: ev.key, fn: n.Func,
+						heldPos: h.pos, acqPos: ev.pos,
+						chain: analysis.FuncDisplay(n.Func)})
+				}
+				if _, re := held[ev.key]; !re {
+					held[ev.key] = ev
+				}
+			} else if !ev.deferred {
+				delete(held, ev.key)
+			}
+		}
+		for ; ci < len(sc.calls); ci++ {
+			emitCallEdges(g, n.Func, sc.calls[ci], held, may, addEdge)
+		}
+	}
+
+	reportLockCycles(pass, edges)
+}
+
+// calleeNodeFunc resolves a region call to a call-graph node function, nil
+// for dynamic/unanalyzed callees.
+func calleeNodeFunc(g *analysis.CallGraph, f *types.Func) *types.Func {
+	if node := g.Node(f); node != nil {
+		return node.Func
+	}
+	return nil
+}
+
+// emitCallEdges adds held → may-acquire edges for one call site.
+func emitCallEdges(g *analysis.CallGraph, fn *types.Func, c regionCall,
+	held map[string]lockEvent, may map[*types.Func]map[string]acqVia,
+	addEdge func(lockEdge)) {
+	callee := calleeNodeFunc(g, c.callee)
+	if callee == nil || len(held) == 0 {
+		return
+	}
+	sub := may[callee]
+	if len(sub) == 0 {
+		return
+	}
+	for _, key := range sortedKeys(sub) {
+		chain := analysis.FuncDisplay(fn) + " → " + renderAcqChain(callee, key, may)
+		for _, h := range sortedHeld(held) {
+			addEdge(lockEdge{from: h.key, to: key, fn: fn,
+				heldPos: h.pos, acqPos: c.pos, chain: chain})
+		}
+	}
+}
+
+// renderAcqChain renders the call chain from f to its acquisition of key.
+func renderAcqChain(f *types.Func, key string, may map[*types.Func]map[string]acqVia) string {
+	out := analysis.FuncDisplay(f)
+	for i := 0; i < 64; i++ { // chain length bound; fixpoint chains are finite
+		v, ok := may[f][key]
+		if !ok || v.via == nil {
+			return out
+		}
+		f = v.via
+		out += " → " + analysis.FuncDisplay(f)
+	}
+	return out
+}
+
+func sortedHeld(held map[string]lockEvent) []lockEvent {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockEvent, len(keys))
+	for i, k := range keys {
+		out[i] = held[k]
+	}
+	return out
+}
+
+func sortedKeys(m map[string]acqVia) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reportLockCycles finds cycles in the acquisition-order graph and reports
+// each once, listing the witness path of every edge on it.
+func reportLockCycles(pass *analysis.ModulePass, edges map[[2]string]lockEdge) {
+	adj := make(map[string][]string)
+	var nodes []string
+	seenNode := make(map[string]bool)
+	addNode := func(n string) {
+		if !seenNode[n] {
+			seenNode[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		addNode(k[0])
+		addNode(k[1])
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	sort.Strings(nodes)
+
+	// Self-deadlocks first: A → A means a region holding A reaches another
+	// acquire of A, and Go mutexes are not reentrant.
+	for _, n := range nodes {
+		if e, ok := edges[[2]string{n, n}]; ok {
+			pass.Reportf(e.acqPos,
+				"potential self-deadlock: %s may be re-acquired while already held (held since line %d; re-acquired via %s) — Go mutexes are not reentrant",
+				n, pass.Position(e.heldPos).Line, e.chain)
+		}
+	}
+
+	// Multi-mutex cycles: DFS from each node in sorted order; report each
+	// cycle once, canonicalized by its smallest node.
+	reported := make(map[string]bool)
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(n, root string)
+	dfs = func(n, root string) {
+		path = append(path, n)
+		onPath[n] = true
+		for _, m := range adj[n] {
+			if m == n {
+				continue // self-loops reported above
+			}
+			if m == root {
+				reportCycle(pass, edges, append(append([]string(nil), path...), root), reported)
+				continue
+			}
+			if !onPath[m] && m > root { // canonical: only walk nodes above the root
+				dfs(m, root)
+			}
+		}
+		onPath[n] = false
+		path = path[:len(path)-1]
+	}
+	for _, n := range nodes {
+		dfs(n, n)
+	}
+}
+
+// reportCycle emits one finding for the cycle described by nodes (first ==
+// last), keyed so each distinct cycle is reported once.
+func reportCycle(pass *analysis.ModulePass, edges map[[2]string]lockEdge, nodes []string, reported map[string]bool) {
+	key := strings.Join(nodes, "→")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	var parts []string
+	var first lockEdge
+	for i := 0; i+1 < len(nodes); i++ {
+		e := edges[[2]string{nodes[i], nodes[i+1]}]
+		if i == 0 {
+			first = e
+		}
+		parts = append(parts, fmt.Sprintf("%s acquires %s at %s while holding %s (line %d)",
+			e.chain, e.to, posShort(pass, e.acqPos), e.from, pass.Position(e.heldPos).Line))
+	}
+	pass.Reportf(first.acqPos,
+		"potential deadlock: lock-order cycle %s — %s; two goroutines entering from different ends block forever (pick one global order and document it)",
+		strings.Join(nodes, " → "), strings.Join(parts, "; "))
+}
+
+// posShort renders file:line with the directory stripped.
+func posShort(pass *analysis.ModulePass, pos token.Pos) string {
+	p := pass.Position(pos)
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

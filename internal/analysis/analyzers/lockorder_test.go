@@ -1,0 +1,19 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestLockorderCycle checks the two-package, two-mutex cycle: one edge from
+// direct nesting, the reverse edge through a cross-package helper call, plus
+// a re-acquisition self-deadlock. Consistent nesting alone must not fire.
+func TestLockorderCycle(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Lockorder,
+		"../testdata/mod/lockorder_cycle", map[string]string{
+			"crowdplanner/internal/core/lockpair": "lockpair",
+			"crowdplanner/internal/core/lockuse":  "lockuse",
+		})
+}

@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared machinery for the lock-discipline analyzers (lockappend,
+// lockorder): canonical mutex identity, and a per-function scan producing
+// lock events and call sites in source order.
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call in a function body.
+type lockEvent struct {
+	pos      token.Pos
+	key      string // canonical mutex identity (see mutexKey)
+	recv     string // rendered receiver expression, e.g. "s.mu", for messages
+	acquire  bool
+	deferred bool
+}
+
+// regionCall is one non-lock call site in a function body, outside nested
+// function literals.
+type regionCall struct {
+	pos    token.Pos
+	callee *types.Func // nil for unresolvable calls
+}
+
+// mutexOp classifies f as a sync.Mutex/RWMutex lock-family method.
+func mutexOp(f *types.Func) (string, bool) {
+	switch {
+	case isMethodOn(f, "sync", "Mutex", "Lock", "Unlock"),
+		isMethodOn(f, "sync", "RWMutex", "Lock", "Unlock", "RLock", "RUnlock"):
+		return f.Name(), true
+	}
+	return "", false
+}
+
+// mutexKey names the mutex a lock-family call operates on, canonically
+// enough to match acquisition sites across functions and packages. Field
+// mutexes become "pkg.Type.field" — one identity per declared field, the
+// standard static-lock-analysis aggregation (all instances of core.System.mu
+// share an identity) — package-level mutexes "pkg.var", embedded mutexes
+// "pkg.Type.(embedded)". Receivers that cannot be canonicalized (locals,
+// complex expressions) fall back to a position-qualified rendering, which
+// still matches textually identical sites within one function.
+func mutexKey(info *types.Info, recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		// s.mu, p.owner.mu: qualify the field by its owner's named type.
+		if tv, ok := info.Types[x.X]; ok {
+			if named := namedOf(tv.Type); named != nil {
+				return qualifiedType(named) + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name() // package-level mutex
+			}
+			// Embedded mutex reached through the enclosing value (w.Lock()
+			// where w's type embeds sync.Mutex): identify by the named type.
+			if named := namedOf(v.Type()); named != nil && !isSyncMutexType(named) {
+				return qualifiedType(named) + ".(embedded)"
+			}
+			// Function-local mutex: position-qualified so distinct locals in
+			// different functions never alias.
+			return fmt.Sprintf("local %s@%d", v.Name(), v.Pos())
+		}
+	}
+	return exprString(recv)
+}
+
+// namedOf strips pointers and returns the named type beneath t, nil if none.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func qualifiedType(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func isSyncMutexType(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// scanLockBody walks fd's body outside nested function literals, returning
+// the lock events and the other call sites in source order. Deferred calls
+// are recorded at their textual position; deferred unlocks are marked so
+// region logic can treat the lock as held to function end.
+func scanLockBody(info *types.Info, fd *ast.FuncDecl) (events []lockEvent, calls []regionCall) {
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(root ast.Node, inDefer bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // literal interiors do not run with the region
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				f := calleeFunc(info, x)
+				if f == nil {
+					return true
+				}
+				if kind, isLock := mutexOp(f); isLock {
+					recv := ""
+					key := ""
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						recv = exprString(sel.X)
+						key = mutexKey(info, sel.X)
+					}
+					events = append(events, lockEvent{
+						pos: x.Pos(), key: key, recv: recv,
+						acquire:  kind == "Lock" || kind == "RLock",
+						deferred: inDefer,
+					})
+					return true
+				}
+				calls = append(calls, regionCall{pos: x.Pos(), callee: f})
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+	return events, calls
+}
+
+// regionEnd returns where the region opened by acq closes: the first plain
+// (non-deferred) release of the same mutex after the acquire, or end when
+// only deferred releases (or none) exist — a deferred unlock holds the lock
+// to function end.
+func regionEnd(acq lockEvent, events []lockEvent, end token.Pos) token.Pos {
+	for _, rel := range events {
+		if !rel.acquire && !rel.deferred && rel.key == acq.key && rel.pos > acq.pos && rel.pos < end {
+			end = rel.pos
+		}
+	}
+	return end
+}

@@ -7,9 +7,23 @@ import (
 	"crowdplanner/internal/analysis"
 )
 
+// Annotations is the framework-level annotation checker: malformed
+// //cplint: comments (unknown directive, unknown analyzer, missing reason)
+// are reported under this name by the suppression machinery itself, which
+// runs unconditionally. The entry exists so -list documents the name and so
+// the catalogue matches the set of names findings can carry; it has no Run
+// of its own.
+var Annotations = &analysis.Analyzer{
+	Name: "cplint",
+	Doc:  "well-formedness of //cplint: annotations (framework check, always on)",
+}
+
 // All returns the full analyzer catalogue in stable (alphabetical) order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Ctxflow, Detorder, Lockappend, Sentinel, Wallclock}
+	return []*analysis.Analyzer{
+		Annotations, Ctxflow, Detorder, Goroleak, Hotalloc,
+		Lockappend, Lockorder, Sentinel, Wallclock,
+	}
 }
 
 // Names lists every analyzer name; this is the suppression vocabulary.

@@ -2,10 +2,19 @@
 // Each analyzer mechanizes one invariant an earlier PR established by hand:
 //
 //	detorder    — sorted iteration in deterministic packages (PR 1/PR 4)
-//	lockappend  — no storage/file/network I/O under core mutexes (PR 3)
+//	lockappend  — no storage/file/network I/O reachable under core mutexes,
+//	              module-wide over the call graph (PR 3)
 //	ctxflow     — context.Context propagation through request paths (PR 2)
 //	wallclock   — no wall clock / global RNG in deterministic packages (PR 1)
 //	sentinel    — sentinel errors compared with errors.Is, not == (PR 2)
+//	lockorder   — mutex acquisition-order graph must be acyclic (PR 3/PR 6)
+//	goroleak    — goroutines outside main must observe a termination signal
+//	hotalloc    — //cplint:hotpath functions stay allocation-free (PR 5)
+//	cplint      — well-formedness of the annotations themselves (framework)
+//
+// lockappend, lockorder, goroleak, and hotalloc are interprocedural: they
+// run once per module over the shared static call graph (see
+// analysis.CallGraph) instead of once per package.
 package analyzers
 
 import (

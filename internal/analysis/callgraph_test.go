@@ -1,0 +1,138 @@
+package analysis_test
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"crowdplanner/internal/analysis"
+)
+
+// loadChainFixture loads the three-package lockappend_chain testdata module
+// through one Loader, the identity-sharing setup BuildCallGraph requires.
+func loadChainFixture(t *testing.T) []*analysis.Package {
+	t.Helper()
+	loader := analysis.NewLoader("")
+	dirs := map[string]string{
+		"crowdplanner/internal/core/chaincore":   "testdata/mod/lockappend_chain/chaincore",
+		"crowdplanner/internal/traj/chainingest": "testdata/mod/lockappend_chain/chainingest",
+		"crowdplanner/internal/store/chainwal":   "testdata/mod/lockappend_chain/chainwal",
+	}
+	var paths []string
+	for path, dir := range dirs {
+		loader.RegisterFixture(path, dir)
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		pkg, err := loader.LoadDir(dirs[path], path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// findFunc locates a declared function node by its display name.
+func findFunc(t *testing.T, g *analysis.CallGraph, display string) *analysis.CallNode {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if analysis.FuncDisplay(n.Func) == display {
+			return n
+		}
+	}
+	t.Fatalf("function %s not in call graph", display)
+	return nil
+}
+
+// TestCallGraphCrossPackageEdges checks that static calls resolve across
+// package boundaries: chaincore.System.FlushLocked → chainingest.Ingest →
+// chainwal.Log.Append all share one graph.
+func TestCallGraphCrossPackageEdges(t *testing.T) {
+	pkgs := loadChainFixture(t)
+	g := analysis.BuildCallGraph(pkgs)
+
+	flush := findFunc(t, g, "chaincore.System.FlushLocked")
+	var callees []string
+	for _, site := range flush.Out {
+		if site.Callee != nil && !site.Dynamic {
+			callees = append(callees, analysis.FuncDisplay(site.Callee))
+		}
+	}
+	joined := strings.Join(callees, ", ")
+	if !strings.Contains(joined, "chainingest.Ingest") {
+		t.Errorf("FlushLocked callees = %s, want chainingest.Ingest among them", joined)
+	}
+
+	ingest := findFunc(t, g, "chainingest.Ingest")
+	found := false
+	for _, site := range ingest.Out {
+		if site.Callee != nil && analysis.FuncDisplay(site.Callee) == "chainwal.Log.Append" {
+			found = true
+			if site.Dynamic {
+				t.Error("concrete-receiver method call marked Dynamic")
+			}
+		}
+	}
+	if !found {
+		t.Error("Ingest does not call chainwal.Log.Append in the graph")
+	}
+}
+
+// TestReachRendersShortestChain checks BFS reachability and chain rendering
+// from a direct-hit classifier.
+func TestReachRendersShortestChain(t *testing.T) {
+	pkgs := loadChainFixture(t)
+	g := analysis.BuildCallGraph(pkgs)
+
+	reach := g.Reach(func(site analysis.CallSite) string {
+		if site.Callee != nil && site.Callee.Name() == "Append" {
+			return "append hit"
+		}
+		return ""
+	}, nil)
+
+	ingest := findFunc(t, g, "chainingest.Ingest")
+	if _, ok := reach.Reaches(ingest.Func); !ok {
+		t.Fatal("Ingest contains the hit but does not reach it")
+	}
+	if got := reach.Chain(ingest.Func); got != "chainingest.Ingest → append hit" {
+		t.Errorf("Chain(Ingest) = %q", got)
+	}
+
+	flush := findFunc(t, g, "chaincore.System.FlushLocked")
+	if got := reach.Chain(flush.Func); got != "chaincore.System.FlushLocked → chainingest.Ingest → append hit" {
+		t.Errorf("Chain(FlushLocked) = %q", got)
+	}
+
+	// Transform performs no I/O and calls nothing that does.
+	transform := findFunc(t, g, "chainingest.Transform")
+	if desc, ok := reach.Reaches(transform.Func); ok {
+		t.Errorf("Transform unexpectedly reaches %q", desc)
+	}
+}
+
+// TestReachThroughFilter checks that functions rejected by the through
+// filter are not expanded: blocking traversal at chainingest makes the hit
+// invisible from chaincore.
+func TestReachThroughFilter(t *testing.T) {
+	pkgs := loadChainFixture(t)
+	g := analysis.BuildCallGraph(pkgs)
+
+	reach := g.Reach(func(site analysis.CallSite) string {
+		if site.Callee != nil && site.Callee.Name() == "Append" {
+			return "append hit"
+		}
+		return ""
+	}, func(f *types.Func) bool {
+		return f.Pkg() == nil || f.Pkg().Name() != "chainingest"
+	})
+
+	flush := findFunc(t, g, "chaincore.System.FlushLocked")
+	if desc, ok := reach.Reaches(flush.Func); ok {
+		t.Errorf("FlushLocked reaches %q through an opaque package", desc)
+	}
+}

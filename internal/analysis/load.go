@@ -8,13 +8,17 @@ import (
 	"go/build"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Loader discovers, parses, and type-checks packages of the surrounding
@@ -26,6 +30,15 @@ import (
 // go/importer source importer. Everything is stdlib: the module stays free
 // of external dependencies, x/tools included.
 //
+// Checking is parallel across the topological levels of the package DAG:
+// packages with no unchecked intra-module dependencies check concurrently
+// (shared FileSet — internally locked — and a serialized stdlib importer),
+// then the next level, and so on. A package that fails to parse or
+// type-check no longer aborts the load: it is reported as a LoadError, its
+// dependents fail with their own import errors, and everything else is
+// analyzed normally — one syntax error must not hide every real finding in
+// the rest of the tree.
+//
 // Test files (*_test.go) are not analyzed: the invariants guard production
 // determinism and lock discipline, and tests legitimately use wall clocks,
 // throwaway goroutines, and unsorted iteration.
@@ -34,10 +47,35 @@ type Loader struct {
 	// working directory. It must sit inside the module under analysis.
 	Dir string
 
-	fset    *token.FileSet
-	std     types.ImporterFrom
-	checked map[string]*types.Package // import path -> checked module package
-	module  string                    // module path, e.g. "crowdplanner"
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	mu       sync.Mutex                // guards checked, failed, pkgs, timings, inflight
+	checked  map[string]*types.Package // import path -> checked module package
+	failed   map[string]error          // import path -> why it could not load
+	pkgs     map[string]*Package       // import path -> full analysis package
+	timings  []Timing                  // per-package check wall time
+	fixtures map[string]string         // import path -> fixture directory
+	inflight map[string]chan struct{}  // paths being loaded on demand
+
+	stdMu  sync.Mutex // serializes the (not thread-safe) source importer
+	modMu  sync.Mutex // guards module
+	module string     // module path, e.g. "crowdplanner"
+}
+
+// LoadError is one package that could not be loaded: a parse failure, a type
+// error, or a dependency that failed before it.
+type LoadError struct {
+	Path string // import path of the broken package
+	Pos  token.Position
+	Err  error
+}
+
+func (e LoadError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s: %v", e.Path, e.Pos, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Path, e.Err)
 }
 
 // NewLoader returns a loader rooted at dir ("" = current directory).
@@ -48,11 +86,35 @@ func NewLoader(dir string) *Loader {
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	return &Loader{
-		Dir:     dir,
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		checked: make(map[string]*types.Package),
+		Dir:      dir,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		checked:  make(map[string]*types.Package),
+		failed:   make(map[string]error),
+		pkgs:     make(map[string]*Package),
+		fixtures: make(map[string]string),
+		inflight: make(map[string]chan struct{}),
 	}
+}
+
+// RegisterFixture maps an import path to a source directory, letting
+// testdata fixture packages import each other under scoping paths that are
+// invisible to `go list` (the analysistest module harness uses this to build
+// multi-package fixture modules).
+func (l *Loader) RegisterFixture(asPath, dir string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fixtures[asPath] = dir
+}
+
+// Timings returns the per-package check durations recorded by the last Load,
+// sorted by decreasing duration.
+func (l *Loader) Timings() []Timing {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]Timing(nil), l.timings...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -92,6 +154,8 @@ func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
 
 // modulePath resolves (and caches) the path of the module rooted at l.Dir.
 func (l *Loader) modulePath() (string, error) {
+	l.modMu.Lock()
+	defer l.modMu.Unlock()
 	if l.module != "" {
 		return l.module, nil
 	}
@@ -106,63 +170,169 @@ func (l *Loader) modulePath() (string, error) {
 }
 
 // Load discovers the packages matching the patterns, type-checks them (and
-// any module-internal dependencies) in dependency order, and returns them in
-// deterministic import-path order. Any parse or type error aborts the load:
-// cplint refuses to lint code that does not compile.
-func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+// any module-internal dependencies) level-parallel in dependency order, and
+// returns the loadable ones in deterministic import-path order plus a
+// LoadError per package that failed. The returned error is non-nil only when
+// discovery itself failed and nothing could be attempted.
+func (l *Loader) Load(patterns ...string) ([]*Package, []LoadError, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	listed, err := l.goList(patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	byPath := make(map[string]*listPkg, len(listed))
 	for _, p := range listed {
-		byPath[p.ImportPath] = p
-	}
-	// Dependency-first order. `go list` output is acyclic, so a plain DFS
-	// suffices; only intra-module edges matter (stdlib goes via l.std).
-	var order []*listPkg
-	state := make(map[string]int)
-	var visit func(p *listPkg)
-	visit = func(p *listPkg) {
-		if state[p.ImportPath] != 0 {
-			return
+		if len(p.GoFiles) > 0 { // test-only or empty packages: nothing to analyze
+			byPath[p.ImportPath] = p
 		}
-		state[p.ImportPath] = 1
-		for _, imp := range p.Imports {
-			if dep, ok := byPath[imp]; ok {
-				visit(dep)
-			}
-		}
-		order = append(order, p)
-	}
-	for _, p := range listed {
-		visit(p)
 	}
 
+	// Topological levels over the intra-listing import edges: level 0 has no
+	// unchecked listed dependencies, level n+1 depends only on levels ≤ n.
+	// `go list` output is acyclic, so the peeling terminates.
+	depth := make(map[string]int, len(byPath))
+	var level func(p *listPkg) int
+	level = func(p *listPkg) int {
+		if d, ok := depth[p.ImportPath]; ok {
+			return d
+		}
+		depth[p.ImportPath] = 0 // breaks would-be cycles defensively
+		d := 0
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if ld := level(dep) + 1; ld > d {
+					d = ld
+				}
+			}
+		}
+		depth[p.ImportPath] = d
+		return d
+	}
+	maxDepth := 0
+	for _, p := range byPath {
+		if d := level(p); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]*listPkg, maxDepth+1)
+	for _, p := range byPath {
+		d := depth[p.ImportPath]
+		levels[d] = append(levels[d], p)
+	}
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, lvl := range levels {
+		var wg sync.WaitGroup
+		for _, p := range lvl {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				l.checkRecorded(p.ImportPath, p.Dir, p.GoFiles)
+			}()
+		}
+		wg.Wait()
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var out []*Package
-	for _, p := range order {
-		if len(p.GoFiles) == 0 {
-			continue // test-only or empty package: nothing to analyze
+	var errs []LoadError
+	for path := range byPath {
+		if pkg, ok := l.pkgs[path]; ok {
+			out = append(out, pkg)
+		} else if err := l.failed[path]; err != nil {
+			errs = append(errs, loadError(path, err))
 		}
-		pkg, err := l.check(p.ImportPath, p.Dir, p.GoFiles)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out, nil
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Path < errs[j].Path })
+	return out, errs, nil
+}
+
+// loadError shapes a raw check error into a positioned LoadError.
+func loadError(path string, err error) LoadError {
+	le := LoadError{Path: path, Err: err}
+	var sl scanner.ErrorList
+	var te types.Error
+	switch {
+	case asErrorList(err, &sl) && len(sl) > 0:
+		le.Pos = sl[0].Pos
+		le.Err = fmt.Errorf("%s", sl[0].Msg)
+	case asTypesError(err, &te):
+		le.Pos = te.Fset.Position(te.Pos)
+		le.Err = fmt.Errorf("%s", te.Msg)
+	}
+	return le
+}
+
+func asErrorList(err error, out *scanner.ErrorList) bool {
+	for err != nil {
+		if sl, ok := err.(scanner.ErrorList); ok {
+			*out = sl
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func asTypesError(err error, out *types.Error) bool {
+	for err != nil {
+		if te, ok := err.(types.Error); ok {
+			*out = te
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// checkRecorded runs check and records the outcome (package, failure, and
+// timing) under the loader lock. It is the concurrency-safe entry used by
+// the level-parallel loop; repeated calls for one path are cheap no-ops.
+func (l *Loader) checkRecorded(path, dir string, goFiles []string) {
+	l.mu.Lock()
+	_, done := l.pkgs[path]
+	_, bad := l.failed[path]
+	l.mu.Unlock()
+	if done || bad {
+		return
+	}
+	start := time.Now()
+	_, err := l.check(path, dir, goFiles)
+	elapsed := time.Since(start)
+	l.mu.Lock()
+	l.timings = append(l.timings, Timing{Name: path, Duration: elapsed})
+	if err != nil {
+		l.failed[path] = err
+	}
+	l.mu.Unlock()
 }
 
 // LoadDir parses and type-checks the .go files of a single directory under
-// the given import path, resolving intra-module imports by loading them on
-// demand. The analysistest harness uses it to check testdata fixture
-// packages under scoping paths the analyzers react to (fixture directories
-// are invisible to `go list ./...`).
+// the given import path, resolving intra-module and registered-fixture
+// imports by loading them on demand. The analysistest harness uses it to
+// check testdata fixture packages under scoping paths the analyzers react to
+// (fixture directories are invisible to `go list ./...`).
 func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.pkgs[asPath]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	l.mu.Unlock()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -180,7 +350,10 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 	return l.check(asPath, dir, files)
 }
 
-// check parses and type-checks one package.
+// check parses and type-checks one package and caches the result. Callers at
+// the same topological level never check each other's packages, so the only
+// shared state is the file set (internally locked), the caches (l.mu), and
+// the stdlib importer (stdMu).
 func (l *Loader) check(path, dir string, goFiles []string) (*Package, error) {
 	var files []*ast.File
 	for _, f := range goFiles {
@@ -211,13 +384,19 @@ func (l *Loader) check(path, dir string, goFiles []string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.mu.Lock()
 	l.checked[path] = tpkg
-	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+	l.pkgs[path] = pkg
+	l.mu.Unlock()
+	return pkg, nil
 }
 
-// loaderImporter resolves imports during type-checking: module-internal
-// paths come from the loader's already-checked set (loading on demand for
-// LoadDir fixtures), everything else from the stdlib source importer.
+// loaderImporter resolves imports during type-checking: registered fixture
+// and module-internal paths come from the loader's already-checked set
+// (loading on demand under odMu), everything else from the stdlib source
+// importer (serialized — the source importer is not safe for concurrent
+// use).
 type loaderImporter Loader
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
@@ -226,23 +405,81 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 
 func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	l := (*Loader)(li)
-	if p, ok := l.checked[path]; ok {
+	l.mu.Lock()
+	p, ok := l.checked[path]
+	ferr := l.failed[path]
+	fixDir, isFixture := l.fixtures[path]
+	l.mu.Unlock()
+	if ok {
 		return p, nil
 	}
-	if mod, err := l.modulePath(); err == nil && mod != "" &&
-		(path == mod || strings.HasPrefix(path, mod+"/")) {
-		listed, err := l.goList([]string{path})
-		if err != nil {
-			return nil, err
-		}
-		if len(listed) != 1 {
-			return nil, fmt.Errorf("import %q: expected one package, got %d", path, len(listed))
-		}
-		pkg, err := l.check(listed[0].ImportPath, listed[0].Dir, listed[0].GoFiles)
+	if ferr != nil {
+		return nil, fmt.Errorf("import %q: package failed to load", path)
+	}
+	if isFixture {
+		pkg, err := l.loadOnDemand(path, func() (*Package, error) { return l.LoadDir(fixDir, path) })
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	if mod, err := l.modulePath(); err == nil && mod != "" &&
+		(path == mod || strings.HasPrefix(path, mod+"/")) {
+		pkg, err := l.loadOnDemand(path, func() (*Package, error) {
+			listed, err := l.goList([]string{path})
+			if err != nil {
+				return nil, err
+			}
+			if len(listed) != 1 {
+				return nil, fmt.Errorf("import %q: expected one package, got %d", path, len(listed))
+			}
+			return l.check(listed[0].ImportPath, listed[0].Dir, listed[0].GoFiles)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.ImportFrom(path, dir, mode)
+}
+
+// loadOnDemand gates module/fixture loads triggered from inside a type-check
+// (rare: topological scheduling pre-checks listed dependencies, so this fires
+// mostly for fixtures and patterns that exclude a dependency). The per-path
+// inflight channel keeps two goroutines from checking the same package into
+// two distinct *types.Package objects — object identity across importers is
+// what the call graph keys on — while letting one goroutine recurse through
+// a chain of fixture imports without self-deadlock.
+func (l *Loader) loadOnDemand(path string, load func() (*Package, error)) (*Package, error) {
+	for {
+		l.mu.Lock()
+		if pkg, ok := l.pkgs[path]; ok {
+			l.mu.Unlock()
+			return pkg, nil
+		}
+		if err := l.failed[path]; err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+		if ch, ok := l.inflight[path]; ok {
+			l.mu.Unlock()
+			<-ch // another goroutine is loading it; wait and re-read
+			continue
+		}
+		ch := make(chan struct{})
+		l.inflight[path] = ch
+		l.mu.Unlock()
+
+		pkg, err := load()
+		l.mu.Lock()
+		delete(l.inflight, path)
+		if err != nil && l.failed[path] == nil {
+			l.failed[path] = err
+		}
+		l.mu.Unlock()
+		close(ch)
+		return pkg, err
+	}
 }

@@ -73,6 +73,11 @@ func parseAnnotations(pkg *Package, known []string) (sups []suppression, malform
 				reason = strings.TrimSpace(reason)
 				var names []string
 				switch {
+				case directive == "cplint:hotpath" && reason == "" && !hasReason:
+					// Not a suppression: marks the next function declaration
+					// as an allocation-free hot path (see the hotalloc
+					// analyzer, which also validates placement).
+					continue
 				case directive == "cplint:ordered-irrelevant":
 					names = []string{"detorder"}
 				case strings.HasPrefix(directive, "cplint:ignore "):

@@ -1,0 +1,32 @@
+// Package leakhelper holds the goroutine bodies of the goroleak fixture:
+// one that observes its context and one that spins forever. The observation
+// lives a package away from the go statement, so the summary must cross the
+// package boundary.
+package leakhelper
+
+import "context"
+
+// Watch polls work until the context is cancelled: observed termination.
+func Watch(ctx context.Context, work func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if !work() {
+			return
+		}
+	}
+}
+
+// Spin never checks anything: launched as a goroutine it runs until process
+// exit.
+func Spin(counter *int) {
+	for {
+		*counter++
+	}
+}
+
+// WatchIndirect observes through one more static hop.
+func WatchIndirect(ctx context.Context, work func() bool) {
+	Watch(ctx, work)
+}

@@ -1,0 +1,14 @@
+// Package main is exempt: main wires its own shutdown and its goroutines die
+// with the process, so even a signal-free spawn is not a finding here.
+package main
+
+func spinForever(counter *int) {
+	for {
+		*counter++
+	}
+}
+
+func main() {
+	var n int
+	go spinForever(&n)
+}

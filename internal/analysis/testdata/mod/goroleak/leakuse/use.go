@@ -1,0 +1,53 @@
+// Package leakuse launches goroutines; goroleak must prove each one can
+// terminate or flag it.
+package leakuse
+
+import (
+	"context"
+	"sync"
+
+	"crowdplanner/internal/worker/leakhelper"
+)
+
+// SpawnWatched launches an observer: fine, the ctx check is two static hops
+// away.
+func SpawnWatched(ctx context.Context, work func() bool) {
+	go leakhelper.WatchIndirect(ctx, work)
+}
+
+// SpawnLeak launches the spinner.
+func SpawnLeak(counter *int) {
+	go leakhelper.Spin(counter) // want "goroutine has no provable termination signal"
+}
+
+// SpawnLitObserved launches a literal that blocks on a done channel.
+func SpawnLitObserved(done chan struct{}, counter *int) {
+	go func() {
+		<-done
+		*counter++
+	}()
+}
+
+// SpawnLitLeak launches a literal with no way out.
+func SpawnLitLeak(counter *int) {
+	go func() { // want "goroutine has no provable termination signal"
+		for {
+			*counter++
+		}
+	}()
+}
+
+// SpawnWG accounts the goroutine to a WaitGroup.
+func SpawnWG(wg *sync.WaitGroup, work func() bool) {
+	go func() {
+		defer wg.Done()
+		for work() {
+		}
+	}()
+}
+
+// SpawnFn launches a function value: the analyzer cannot see inside it, and
+// unprovable counts as leaked.
+func SpawnFn(f func()) {
+	go f() // want "goroutine has no provable termination signal"
+}

@@ -1,0 +1,18 @@
+// Package allochelp holds helpers for the hotalloc fixture: one that
+// allocates (the transitive target) and one that is clean.
+package allochelp
+
+// Build allocates a fresh slice every call.
+func Build() []int {
+	return []int{1, 2, 3}
+}
+
+// Scale is allocation-free; hot kernels may call it.
+func Scale(x, f int) int {
+	return x * f
+}
+
+// Deep reaches Build through one more hop, to exercise chain rendering.
+func Deep() []int {
+	return Build()
+}

@@ -1,0 +1,64 @@
+// Package hotuse exercises every allocation kind hotalloc flags inside
+// //cplint:hotpath functions, the transitive call case, the sanctioned
+// suppression shape, and the misplaced-directive check.
+package hotuse
+
+import (
+	"fmt"
+
+	"crowdplanner/internal/routing/allochelp"
+)
+
+type pair struct{ a, b int }
+
+type state struct {
+	buf []int
+}
+
+func vsum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Kernel trips one finding per flagged allocation kind.
+//
+//cplint:hotpath
+func Kernel(s *state, n int, x, y string) int {
+	sl := []int{1, 2, n}         // want "slice literal allocates a backing array in //cplint:hotpath function hotuse.Kernel"
+	m := map[int]int{n: n}       // want "map literal allocates in //cplint:hotpath function hotuse.Kernel"
+	p := &pair{a: n}             // want "&composite literal escapes to the heap"
+	bs := make([]byte, n)        // want "make allocates"
+	q := new(pair)               // want "new allocates"
+	sl = append(sl, n)           // want "append to a non-reused slice may allocate"
+	joined := x + y              // want "string concatenation allocates"
+	raw := []byte(joined)        // want "string conversion copies its data"
+	f := func() int { return n } // want "function literal capturing n allocates a closure"
+	msg := fmt.Sprintf("%d", n)  // want "fmt.Sprintf allocates"
+	t := vsum(1, 2, n)           // want "variadic call to vsum allocates its argument slice"
+	t += vsum(sl...)             // spreading an existing slice does not allocate
+	ext := allochelp.Deep()      // want "call from //cplint:hotpath function hotuse.Kernel reaches an allocation: allochelp.Deep → allochelp.Build → slice literal allocates a backing array"
+	return len(m) + p.a + len(bs) + q.b + len(raw) + f() + len(msg) + t + len(ext)
+}
+
+// Reuse is the sanctioned pooled-workspace shape plus one suppressed,
+// justified allocation: clean under hotalloc.
+//
+//cplint:hotpath
+func Reuse(s *state, n int) int {
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, allochelp.Scale(i, n))
+	}
+	//cplint:ignore hotalloc -- fixture: documents the sanctioned-result-allocation shape
+	out := make([]int, len(s.buf))
+	copy(out, s.buf)
+	return len(out)
+}
+
+func misplaced() int {
+	/*cplint:hotpath*/ // want "misplaced //cplint:hotpath"
+	return 0
+}

@@ -1,0 +1,34 @@
+// Package lockpair declares the two mutex-owning types of the lock-order
+// fixture, plus a helper that acquires one of them — the cross-function hop
+// that forces the analyzer to propagate may-acquire sets through calls.
+package lockpair
+
+import "sync"
+
+// A owns the first mutex.
+type A struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// B owns the second mutex.
+type B struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// GrabA acquires and releases A's mutex. Called while holding B.Mu it
+// establishes the B → A acquisition-order edge.
+func GrabA(a *A) {
+	a.Mu.Lock()
+	a.N++
+	a.Mu.Unlock()
+}
+
+// RelockA re-acquires A's mutex; calling it while already holding A.Mu is a
+// self-deadlock.
+func RelockA(a *A) {
+	a.Mu.Lock()
+	a.N--
+	a.Mu.Unlock()
+}

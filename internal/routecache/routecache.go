@@ -26,6 +26,8 @@ type Key struct {
 }
 
 // hash mixes the key fields into a shard index seed (splitmix-style).
+//
+//cplint:hotpath
 func (k Key) hash() uint64 {
 	h := uint64(k.From)*0x9E3779B97F4A7C15 + uint64(k.To)*0xC2B2AE3D27D4EB4F + uint64(k.Slot)
 	h ^= h >> 30
@@ -98,11 +100,16 @@ func New[V any](capacity int) *Cache[V] {
 	return c
 }
 
+//cplint:hotpath
 func (c *Cache[V]) shard(k Key) *shard[V] {
 	return &c.shards[k.hash()%defaultShards]
 }
 
 // Get returns the cached value for k and marks it most recently used.
+// Cache hits sit on every recommendation request, so the lookup is part of
+// the allocation-free serving budget.
+//
+//cplint:hotpath
 func (c *Cache[V]) Get(k Key) (V, bool) {
 	var zero V
 	if c == nil {

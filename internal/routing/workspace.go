@@ -80,6 +80,8 @@ func (ws *searchSpace) ensure(nodes, edges int) {
 
 // beginSearch starts a new search: bumps the label epoch and empties the
 // heap. Returns the active epoch.
+//
+//cplint:hotpath
 func (ws *searchSpace) beginSearch() uint32 {
 	ws.epoch++
 	if ws.epoch == 0 { // wraparound: clear for real, then skip the zero epoch
@@ -92,6 +94,8 @@ func (ws *searchSpace) beginSearch() uint32 {
 }
 
 // resetBans empties the ban set in O(1) by bumping the ban epoch.
+//
+//cplint:hotpath
 func (ws *searchSpace) resetBans() {
 	ws.banEpoch++
 	if ws.banEpoch == 0 {
@@ -101,7 +105,14 @@ func (ws *searchSpace) resetBans() {
 	}
 }
 
-func (ws *searchSpace) ban(n roadnet.NodeID)          { ws.banNode[n] = ws.banEpoch }
-func (ws *searchSpace) banE(e roadnet.EdgeID)         { ws.banEdge[e] = ws.banEpoch }
-func (ws *searchSpace) banned(n roadnet.NodeID) bool  { return ws.banNode[n] == ws.banEpoch }
+//cplint:hotpath
+func (ws *searchSpace) ban(n roadnet.NodeID) { ws.banNode[n] = ws.banEpoch }
+
+//cplint:hotpath
+func (ws *searchSpace) banE(e roadnet.EdgeID) { ws.banEdge[e] = ws.banEpoch }
+
+//cplint:hotpath
+func (ws *searchSpace) banned(n roadnet.NodeID) bool { return ws.banNode[n] == ws.banEpoch }
+
+//cplint:hotpath
 func (ws *searchSpace) bannedE(e roadnet.EdgeID) bool { return ws.banEdge[e] == ws.banEpoch }
