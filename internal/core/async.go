@@ -244,9 +244,18 @@ func (s *System) resolveTraditional(ctx context.Context, req Request) (*Response
 		s.reliance.record(cands, best.Route)
 		return &Response{Route: best.Route, Stage: StageAgreement, Confidence: sim, Candidates: cands}, nil, nil
 	}
+	// Batched confidence: every candidate shares the request's OD pair, so
+	// scoring them together runs the truth store's Near scan once instead of
+	// once per candidate. Scores are identical to per-candidate Confidence
+	// calls (see truth.ConfidenceBatch).
+	candRoutes := make([]roadnetpkg.Route, len(cands))
+	for i := range cands {
+		candRoutes[i] = cands[i].Route
+	}
+	confs := s.truth.ConfidenceBatch(s.graph, candRoutes, req.Depart, s.cfg.TruthRadius, s.cfg.TruthSlotTol)
 	bestIdx, bestConf := -1, 0.0
 	for i := range cands {
-		c := s.truth.Confidence(s.graph, cands[i].Route, req.Depart, s.cfg.TruthRadius, s.cfg.TruthSlotTol)
+		c := confs[i]
 		cands[i].Prior = c
 		if c > bestConf {
 			bestConf, bestIdx = c, i

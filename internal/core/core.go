@@ -87,6 +87,14 @@ type Config struct {
 	// (k-shortest by travel time) to the candidate set when positive.
 	KShortestAlternatives int
 
+	// RoutingPreprocess enables the ALT landmark preprocessing tier: New
+	// builds landmark distance tables for both web-service cost models and
+	// every proposal search runs with landmark lower bounds (same routes,
+	// fewer settled nodes — the win grows with graph size). Costs a one-off
+	// build (two sweeps of one-to-all searches) and O(landmarks·nodes)
+	// memory per cost model. Off, searches fall back to straight-line A*.
+	RoutingPreprocess bool
+
 	// RouteCacheCapacity bounds the sharded LRU cache of generated
 	// candidate sets, keyed by (from, to, departure slot). Repeat OD pairs
 	// within a slot skip graph search and mining entirely; entries are
@@ -141,6 +149,7 @@ func DefaultConfig() Config {
 		TruthRadius:           600,
 		TruthSlotTol:          1,
 		KShortestAlternatives: 2,
+		RoutingPreprocess:     true,
 		RouteCacheCapacity:    4096,
 		Calibrate:             calibrate.DefaultConfig(),
 		Task:                  task.DefaultConfig(),
@@ -196,6 +205,12 @@ type System struct {
 	oracle    Oracle
 	routes    *routecache.Cache[[]task.Candidate] // generated candidates by OD+slot
 
+	// ALT landmark tables for the two web-service cost models, built once in
+	// New when Config.RoutingPreprocess is set (nil otherwise). Immutable
+	// after construction, like the graph they index.
+	prepDist *routing.Preprocessed
+	prepTime *routing.Preprocessed
+
 	mu         sync.Mutex
 	mstar      *worker.Matrix // system's estimate (PMF-densified, accumulated)
 	mtrue      *worker.Matrix // workers' actual knowledge (no PMF inference)
@@ -242,6 +257,12 @@ func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, po
 	// Spatial truth index: bucket truths by from-endpoint cell sized to the
 	// confidence query radius, so Near touches only nearby buckets.
 	s.truth.EnableSpatialIndex(g, cfg.TruthRadius)
+	// ALT landmark tables: one preprocessing pass per web-service cost
+	// model, shared by every proposal search this System runs.
+	if cfg.RoutingPreprocess {
+		s.prepDist = routing.Preprocess(g, routing.DistanceCost, routing.DefaultPrepConfig())
+		s.prepTime = routing.Preprocess(g, routing.TravelTimeCost, routing.DefaultPrepConfig())
+	}
 	// Mining index: endpoint grid + footmark frequency graphs over the
 	// trajectory corpus, so the popular-route miners answer from a handful
 	// of buckets instead of re-scanning every trip, and IngestTrips can grow
@@ -470,15 +491,30 @@ func (s *System) proposeRoutes(ctx context.Context, req Request) []proposal {
 	}
 	run(0, func() []proposal {
 		// Goal-directed: the cost functions carry admissible per-meter
-		// lower bounds, so A* returns the same route as plain Dijkstra
+		// lower bounds — tightened to landmark bounds when the ALT tier is
+		// built — so the search returns the same route as plain Dijkstra
 		// while settling a fraction of the graph.
-		if r, _, err := routing.AStar(s.graph, req.From, req.To, routing.DistanceCost, req.Depart); err == nil {
+		var r roadnet.Route
+		var err error
+		if s.prepDist != nil {
+			r, _, err = s.prepDist.AStar(req.From, req.To, req.Depart)
+		} else {
+			r, _, err = routing.AStar(s.graph, req.From, req.To, routing.DistanceCost, req.Depart)
+		}
+		if err == nil {
 			return []proposal{{"ws-shortest", r}}
 		}
 		return nil
 	})
 	run(1, func() []proposal {
-		if r, _, err := routing.AStar(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart); err == nil {
+		var r roadnet.Route
+		var err error
+		if s.prepTime != nil {
+			r, _, err = s.prepTime.AStar(req.From, req.To, req.Depart)
+		} else {
+			r, _, err = routing.AStar(s.graph, req.From, req.To, routing.TravelTimeCost, req.Depart)
+		}
+		if err == nil {
 			return []proposal{{"ws-fastest", r}}
 		}
 		return nil
@@ -488,7 +524,13 @@ func (s *System) proposeRoutes(ctx context.Context, req Request) []proposal {
 		if k <= 0 {
 			return nil
 		}
-		rs, _, err := routing.KShortest(s.graph, req.From, req.To, k+1, routing.TravelTimeCost, req.Depart)
+		var rs []roadnet.Route
+		var err error
+		if s.prepTime != nil {
+			rs, _, err = s.prepTime.KShortest(req.From, req.To, k+1, req.Depart)
+		} else {
+			rs, _, err = routing.KShortest(s.graph, req.From, req.To, k+1, routing.TravelTimeCost, req.Depart)
+		}
 		if err != nil {
 			return nil
 		}

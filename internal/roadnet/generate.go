@@ -68,6 +68,8 @@ func Generate(cfg GenConfig) *Graph {
 		return cfg.ArterialEach > 0 && c%cfg.ArterialEach == 0
 	}
 
+	type cut struct{ a, b NodeID }
+	var cuts []cut
 	addSegment := func(a, b NodeID, art bool, border bool) {
 		class := Local
 		lightP := cfg.LightProb
@@ -77,8 +79,15 @@ func Generate(cfg GenConfig) *Graph {
 		}
 		// Local segments in the interior may be removed to create the gaps,
 		// dead ends and detours real cities have. Border and arterial
-		// segments always survive, which keeps the graph connected.
+		// segments always survive, which keeps removal local — but does NOT
+		// by itself keep the graph connected: an interior node off the
+		// arterial grid loses all four segments with probability
+		// RemoveProb^4, which is negligible on toy grids and near-certain
+		// somewhere in a million-node city. Removed segments are recorded
+		// and the reconnect pass below restores just enough of them to keep
+		// one component.
 		if !art && !border && rng.Float64() < cfg.RemoveProb {
+			cuts = append(cuts, cut{a, b})
 			return
 		}
 		lights := 0
@@ -106,7 +115,68 @@ func Generate(cfg GenConfig) *Graph {
 	if cfg.HighwayRing {
 		addHighwayRing(g, ids, cfg)
 	}
+
+	// Reconnect pass: restore removed segments that bridge components, in
+	// the deterministic order they were cut. Re-adding every cut would
+	// restore the full grid (which is connected), so scanning them once and
+	// keeping only the bridges provably leaves a single component while
+	// preserving almost all of the gaps. rng draws here follow all other
+	// draws, so grids that were already connected generate byte-identically
+	// to the pre-reconnect generator.
+	uf := newUnionFind(g.NumNodes())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		uf.union(int(e.From), int(e.To))
+	}
+	for _, c := range cuts {
+		if uf.find(int(c.a)) == uf.find(int(c.b)) {
+			continue
+		}
+		uf.union(int(c.a), int(c.b))
+		lights := 0
+		if rng.Float64() < cfg.LightProb {
+			lights = 1
+		}
+		g.AddRoad(c.a, c.b, Local, 0, lights)
+	}
 	return g
+}
+
+// unionFind is a plain disjoint-set forest (path halving, union by size)
+// used by Generate's reconnect pass.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int32 {
+	r := int32(x)
+	for uf.parent[r] != r {
+		uf.parent[r] = uf.parent[uf.parent[r]]
+		r = uf.parent[r]
+	}
+	return r
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
 }
 
 // addHighwayRing surrounds the grid with a rectangular highway connected to

@@ -1,0 +1,55 @@
+package roadnet
+
+import "testing"
+
+// TestGenerateContinentScale pins the ≥1M-node generation path that the
+// routing scale sweep depends on: a 1024×1024 city must come out with over a
+// million nodes, a single connected component, and every road class
+// represented. Gated behind -short because generating and BFS-walking a
+// million-node graph takes a few seconds.
+func TestGenerateContinentScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping million-node generation in -short mode")
+	}
+	cfg := DefaultGenConfig()
+	cfg.Cols, cfg.Rows = 1024, 1024
+	g := Generate(cfg)
+	if g.NumNodes() < 1_000_000 {
+		t.Fatalf("nodes = %d, want >= 1M", g.NumNodes())
+	}
+	if g.NumEdges() < 2*g.NumNodes() {
+		t.Fatalf("edges = %d for %d nodes; grid should average well over 2 per node",
+			g.NumEdges(), g.NumNodes())
+	}
+	have := map[RoadClass]int{}
+	for i := 0; i < g.NumEdges(); i++ {
+		have[g.Edge(EdgeID(i)).Class]++
+	}
+	for _, c := range []RoadClass{Local, Arterial, Highway, Collector} {
+		if have[c] == 0 {
+			t.Errorf("no %v edges generated at scale", c)
+		}
+	}
+	// BFS from node 0 must reach every node — unreachable pockets would
+	// poison the OD sampling and the landmark one-to-all sweeps.
+	visited := make([]bool, g.NumNodes())
+	queue := make([]NodeID, 0, 1024)
+	queue = append(queue, 0)
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.Out(n) {
+			to := g.Edge(eid).To
+			if !visited[to] {
+				visited[to] = true
+				count++
+				queue = append(queue, to)
+			}
+		}
+	}
+	if count != g.NumNodes() {
+		t.Errorf("connected component = %d of %d nodes", count, g.NumNodes())
+	}
+}

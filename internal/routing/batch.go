@@ -1,0 +1,289 @@
+package routing
+
+import (
+	"math"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+)
+
+// This file implements the batched search API: one-to-many queries that run
+// a single search per source until every target settles, instead of one full
+// search per (src, dst) pair. The plain (non-preprocessed) variant runs pure
+// Dijkstra, so its prev tree is the prefix of the single-pair tree and the
+// returned routes are exactly — including tie-breaks — what a loop of
+// ShortestPath calls would return. The Preprocessed variant adds a
+// min-over-targets ALT heuristic: the minimum of per-target consistent
+// bounds is itself consistent, so every target is still settled with its
+// final distance, and routes match single-pair results absent exact cost
+// ties.
+
+// ShortestPaths returns the minimum-cost route and cost from src to each of
+// dsts, departing at t, in one search: a single Dijkstra that stops as soon
+// as every distinct target has settled. routes[i]/costs[i] correspond to
+// dsts[i] (duplicates are fine and served from the same search). An
+// unreachable target yields an empty route and a +Inf cost — per-target
+// reachability is data, not an error; the error return covers only invalid
+// nodes.
+func ShortestPaths(g *roadnet.Graph, src roadnet.NodeID, dsts []roadnet.NodeID, cost CostFunc, t SimTime) ([]roadnet.Route, []float64, error) {
+	ws := acquireSpace(g)
+	defer releaseSpace(ws)
+	return batchSearch(g, src, dsts, cost, t, ws, nil)
+}
+
+// ShortestPaths is the batched one-to-many query over the landmark tables:
+// same results as the package-level ShortestPaths (absent exact cost ties),
+// goal-directed toward the nearest unsettled target.
+func (p *Preprocessed) ShortestPaths(src roadnet.NodeID, dsts []roadnet.NodeID, t SimTime) ([]roadnet.Route, []float64, error) {
+	ws := acquireSpace(p.g)
+	defer releaseSpace(ws)
+	return batchSearch(p.g, src, dsts, p.cost, t, ws, p)
+}
+
+// Matrix returns the many-to-many cost table costs[i][j] = cost of the best
+// route srcs[i] → dsts[j] departing at t (+Inf when unreachable). Targets
+// are bucketed per source: each row is one batched search, so the whole
+// table costs len(srcs) searches instead of len(srcs)·len(dsts).
+func Matrix(g *roadnet.Graph, srcs, dsts []roadnet.NodeID, cost CostFunc, t SimTime) ([][]float64, error) {
+	return matrix(g, srcs, dsts, cost, t, nil)
+}
+
+// Matrix is the many-to-many cost table over the landmark tables; see the
+// package-level Matrix.
+func (p *Preprocessed) Matrix(srcs, dsts []roadnet.NodeID, t SimTime) ([][]float64, error) {
+	return matrix(p.g, srcs, dsts, p.cost, t, p)
+}
+
+func matrix(g *roadnet.Graph, srcs, dsts []roadnet.NodeID, cost CostFunc, t SimTime, prep *Preprocessed) ([][]float64, error) {
+	n := g.NumNodes()
+	for _, s := range srcs {
+		if int(s) >= n || s < 0 {
+			return nil, errNodeRange
+		}
+	}
+	ws := acquireSpace(g)
+	defer releaseSpace(ws)
+	out := make([][]float64, len(srcs))
+	for i, src := range srcs {
+		if err := settleTargets(g, src, dsts, cost, t, ws, prep); err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(dsts))
+		for j, d := range dsts {
+			if ws.done[d] == ws.epoch {
+				row[j] = ws.dist[d]
+			} else {
+				row[j] = math.Inf(1)
+			}
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// batchSearch runs one multi-target search and materializes per-target
+// routes off the settled prev tree.
+func batchSearch(g *roadnet.Graph, src roadnet.NodeID, dsts []roadnet.NodeID, cost CostFunc, t SimTime, ws *searchSpace, prep *Preprocessed) ([]roadnet.Route, []float64, error) {
+	if err := settleTargets(g, src, dsts, cost, t, ws, prep); err != nil {
+		return nil, nil, err
+	}
+	routes := make([]roadnet.Route, len(dsts))
+	costs := make([]float64, len(dsts))
+	epoch := ws.epoch
+	for i, d := range dsts {
+		if ws.done[d] != epoch {
+			costs[i] = math.Inf(1)
+			continue
+		}
+		costs[i] = ws.dist[d]
+		steps := 0
+		for at := d; at != -1; at = ws.prev[at] {
+			steps++
+			if at == src {
+				break
+			}
+		}
+		nodes := make([]roadnet.NodeID, steps)
+		k := steps - 1
+		for at := d; at != -1; at = ws.prev[at] {
+			nodes[k] = at
+			k--
+			if at == src {
+				break
+			}
+		}
+		routes[i] = roadnet.Route{Nodes: nodes}
+	}
+	return routes, costs, nil
+}
+
+// settleTargets runs the search: marks dsts in the workspace's epoch-stamped
+// target set and relaxes until every distinct target settles (or the queue
+// drains — leftover targets are unreachable). On return, ws holds the
+// search's epoch-stamped dist/prev/done labels for the caller to read.
+func settleTargets(g *roadnet.Graph, src roadnet.NodeID, dsts []roadnet.NodeID, cost CostFunc, t SimTime, ws *searchSpace, prep *Preprocessed) error {
+	n := g.NumNodes()
+	if int(src) >= n || src < 0 {
+		return errNodeRange
+	}
+	for _, d := range dsts {
+		if int(d) >= n || d < 0 {
+			return errNodeRange
+		}
+	}
+	counters.searches.Add(1)
+	counters.batchSearches.Add(1)
+	counters.batchTargets.Add(uint64(len(dsts)))
+
+	epoch := ws.beginSearch()
+	remaining := 0
+	for _, d := range dsts {
+		if ws.targ[d] != epoch {
+			ws.targ[d] = epoch
+			remaining++
+		}
+	}
+	if prep != nil {
+		prep.activateMulti(ws, src, dsts)
+	}
+	relaxAll(g, src, cost, t, ws, prep, remaining, epoch)
+	return nil
+}
+
+// relaxAll is the multi-target relaxation loop: plain Dijkstra when prep is
+// nil, ALT with the min-over-targets bound otherwise. Identical queue
+// discipline to the single-pair kernel — strict (prio, node) order, lazy
+// deletion, strict-improvement relaxation, settled-at-pop cost times.
+//
+//cplint:hotpath
+func relaxAll(g *roadnet.Graph, src roadnet.NodeID, cost CostFunc, t SimTime, ws *searchSpace, prep *Preprocessed, remaining int, epoch uint32) {
+	var pushes uint64
+	ws.dist[src] = 0
+	ws.prev[src] = -1
+	ws.seen[src] = epoch
+	start := heapEntry{node: src}
+	if prep != nil {
+		start.prio = prep.mtBound(ws, src)
+	}
+	ws.heapPush(start)
+	pushes++
+
+	for remaining > 0 && len(ws.heap) > 0 {
+		u := ws.heapPop().node
+		if ws.done[u] == epoch {
+			continue
+		}
+		ws.done[u] = epoch
+		if ws.targ[u] == epoch {
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		du := ws.dist[u]
+		td := t.Add(du)
+		for _, eid := range g.Out(u) {
+			e := g.Edge(eid)
+			v := e.To
+			if ws.done[v] == epoch {
+				continue
+			}
+			c := cost.Cost(e, td)
+			if c < 0 {
+				c = 0
+			}
+			nd := du + c
+			dv := math.Inf(1)
+			if ws.seen[v] == epoch {
+				dv = ws.dist[v]
+			}
+			if !(nd < dv) {
+				continue
+			}
+			ws.seen[v] = epoch
+			ws.dist[v] = nd
+			ws.prev[v] = u
+			prio := nd
+			if prep != nil {
+				// Same per-search heuristic memoization as the single-pair
+				// kernel; the multi-target bound is even pricier per call.
+				if ws.hseen[v] == epoch {
+					prio += ws.hval[v]
+				} else {
+					h := prep.mtBound(ws, v)
+					ws.hseen[v] = epoch
+					ws.hval[v] = h
+					prio += h
+				}
+			}
+			ws.heapPush(heapEntry{prio: prio, node: v})
+			pushes++
+		}
+	}
+	counters.heapPushes.Add(pushes)
+}
+
+// activateMulti fills the workspace's multi-target ALT state: for each
+// distinct position in dsts, the active landmark rows and destination
+// distances (as in activate), plus the target point for the straight-line
+// term. Settled targets are not evicted mid-search — keeping them only
+// loosens the bound toward min over a superset, which stays admissible and
+// consistent for every remaining target.
+func (p *Preprocessed) activateMulti(ws *searchSpace, src roadnet.NodeID, dsts []roadnet.NodeID) {
+	nt := len(dsts)
+	ws.mtN = ws.mtN[:0]
+	ws.mtLands = ws.mtLands[:0]
+	ws.mtFdst = ws.mtFdst[:0]
+	ws.mtRdst = ws.mtRdst[:0]
+	ws.mtPts = ws.mtPts[:0]
+	for j := 0; j < nt; j++ {
+		p.activate(ws, src, dsts[j])
+		ws.mtN = append(ws.mtN, int32(ws.altN))
+		ws.mtPts = append(ws.mtPts, p.g.Node(dsts[j]).Pt)
+		for i := 0; i < maxActiveLandmarks; i++ {
+			if i < ws.altN {
+				ws.mtLands = append(ws.mtLands, ws.altLands[i])
+				ws.mtFdst = append(ws.mtFdst, ws.altFdst[i])
+				ws.mtRdst = append(ws.mtRdst, ws.altRdst[i])
+			} else {
+				ws.mtLands = append(ws.mtLands, 0)
+				ws.mtFdst = append(ws.mtFdst, 0)
+				ws.mtRdst = append(ws.mtRdst, 0)
+			}
+		}
+	}
+	ws.altN = 0 // single-target state was scratch for the copies above
+}
+
+// mtBound is the multi-target ALT kernel: the minimum over targets of each
+// target's max(landmark bound, straight-line bound). Each per-target bound
+// is admissible and consistent for its target; their min is consistent and
+// vanishes at every target, so multi-target A* still settles each target
+// with its final distance.
+//
+//cplint:hotpath
+func (p *Preprocessed) mtBound(ws *searchSpace, v roadnet.NodeID) float64 {
+	best := math.Inf(1)
+	vi := int(v)
+	vPt := p.g.Node(v).Pt
+	for j := range ws.mtN {
+		b := geo.Dist(vPt, ws.mtPts[j]) * p.mcpm
+		base := j * maxActiveLandmarks
+		for i := 0; i < int(ws.mtN[j]); i++ {
+			lb := int(ws.mtLands[base+i]) * p.n
+			if d := ws.mtFdst[base+i] - p.fwd[lb+vi]; d > b {
+				b = d
+			}
+			if d := p.rev[lb+vi] - ws.mtRdst[base+i]; d > b {
+				b = d
+			}
+		}
+		if b < best {
+			best = b
+		}
+	}
+	if math.IsInf(best, 1) { // no targets: degenerate, no guidance
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,279 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crowdplanner/internal/geo"
+	"crowdplanner/internal/roadnet"
+)
+
+// The batched one-to-many API must be a pure optimization: route for route,
+// ShortestPaths(g, src, dsts) returns exactly what a loop of single-pair
+// ShortestPath calls would — the plain variant shares Dijkstra's prefix
+// property (identical even under cost ties), the preprocessed variant uses a
+// consistent min-over-targets bound (identical absent exact ties, like the
+// other heuristic searches).
+
+// randomTargets draws a target set with deliberate degeneracies: duplicates,
+// and sometimes the source itself.
+func randomTargets(rng *rand.Rand, g *roadnet.Graph, src roadnet.NodeID, n int) []roadnet.NodeID {
+	dsts := make([]roadnet.NodeID, 0, n)
+	for len(dsts) < n {
+		switch rng.Intn(6) {
+		case 0:
+			dsts = append(dsts, src)
+		case 1:
+			if len(dsts) > 0 {
+				dsts = append(dsts, dsts[rng.Intn(len(dsts))])
+				continue
+			}
+			fallthrough
+		default:
+			dsts = append(dsts, roadnet.NodeID(rng.Intn(g.NumNodes())))
+		}
+	}
+	return dsts
+}
+
+// checkBatchAgainstSingle compares a batch result against a loop of
+// single-pair calls. exact demands route-for-route identity (the plain batch
+// shares Dijkstra's settle order, so it matches even under exact cost ties);
+// otherwise a divergent route is accepted only if it is a genuinely optimal
+// tie: same endpoints, an intact edge chain, and the same cost (the
+// preprocessed batch's min-over-targets heuristic can reorder settling among
+// exactly-tied routes).
+func checkBatchAgainstSingle(t *testing.T, name string, g *roadnet.Graph, src roadnet.NodeID, dsts []roadnet.NodeID,
+	cost CostFunc, at SimTime, routes []roadnet.Route, costs []float64, exact bool) {
+	t.Helper()
+	if len(routes) != len(dsts) || len(costs) != len(dsts) {
+		t.Fatalf("%s: %d routes / %d costs for %d targets", name, len(routes), len(costs), len(dsts))
+	}
+	for i, d := range dsts {
+		r, c, err := ShortestPath(g, src, d, cost, at)
+		if err == ErrNoRoute {
+			if len(routes[i].Nodes) != 0 || !math.IsInf(costs[i], 1) {
+				t.Fatalf("%s target %d (%d): unreachable but batch returned %v cost %v",
+					name, i, d, routes[i], costs[i])
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s target %d (%d): single-pair error %v", name, i, d, err)
+		}
+		if r.Equal(routes[i]) {
+			if c != costs[i] {
+				t.Fatalf("%s target %d (%d): cost single=%v batch=%v", name, i, d, c, costs[i])
+			}
+			continue
+		}
+		if exact {
+			t.Fatalf("%s target %d (%d): route single=%v batch=%v", name, i, d, r, routes[i])
+		}
+		got := routes[i].Nodes
+		if len(got) == 0 || got[0] != src || got[len(got)-1] != d {
+			t.Fatalf("%s target %d (%d): batch route %v has wrong endpoints", name, i, d, routes[i])
+		}
+		walked, broken := rootCosts(g, got, cost, at, nil)
+		if broken != len(got)-1 {
+			t.Fatalf("%s target %d (%d): batch route %v broken at %d", name, i, d, routes[i], broken)
+		}
+		tol := 1e-9 * math.Max(1, c)
+		if math.Abs(costs[i]-c) > tol || math.Abs(walked[len(walked)-1]-c) > tol {
+			t.Fatalf("%s target %d (%d): batch route %v cost %v (walked %v), single %v",
+				name, i, d, routes[i], costs[i], walked[len(walked)-1], c)
+		}
+	}
+}
+
+// TestShortestPathsMatchesSinglePair: random graphs, both cost models, peak
+// and night departures, target sets with duplicates and src itself.
+func TestShortestPathsMatchesSinglePair(t *testing.T) {
+	g := equivGraph(12, 12)
+	rng := rand.New(rand.NewSource(50))
+	for _, tc := range equivCases() {
+		p := prepFor(g, tc.cost)
+		for round := 0; round < 60; round++ {
+			src := roadnet.NodeID(rng.Intn(g.NumNodes()))
+			dsts := randomTargets(rng, g, src, 1+rng.Intn(12))
+			routes, costs, err := ShortestPaths(g, src, dsts, tc.cost, tc.t)
+			if err != nil {
+				t.Fatalf("%s: plain batch error %v", tc.name, err)
+			}
+			checkBatchAgainstSingle(t, tc.name+"/plain", g, src, dsts, tc.cost, tc.t, routes, costs, true)
+
+			routes, costs, err = p.ShortestPaths(src, dsts, tc.t)
+			if err != nil {
+				t.Fatalf("%s: prep batch error %v", tc.name, err)
+			}
+			checkBatchAgainstSingle(t, tc.name+"/prep", g, src, dsts, tc.cost, tc.t, routes, costs, false)
+		}
+	}
+}
+
+// TestShortestPathsUnreachable: targets in another component come back as
+// empty route + +Inf cost while reachable targets in the same call resolve.
+func TestShortestPathsUnreachable(t *testing.T) {
+	g := twoIslands()
+	routes, costs, err := ShortestPaths(g, 0, []roadnet.NodeID{1, 3, 0}, DistanceCost, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !routes[0].Equal(roadnet.NewRoute(0, 1)) || math.IsInf(costs[0], 1) {
+		t.Fatalf("reachable target: %v / %v", routes[0], costs[0])
+	}
+	if len(routes[1].Nodes) != 0 || !math.IsInf(costs[1], 1) {
+		t.Fatalf("unreachable target: %v / %v", routes[1], costs[1])
+	}
+	if len(routes[2].Nodes) != 1 || costs[2] != 0 {
+		t.Fatalf("self target: %v / %v", routes[2], costs[2])
+	}
+}
+
+// TestShortestPathsValidation: invalid source or target is an error (not a
+// per-target +Inf — a bad node ID is a caller bug, not unreachability), and
+// an empty target list is a no-op success.
+func TestShortestPathsValidation(t *testing.T) {
+	g := twoIslands()
+	if _, _, err := ShortestPaths(g, 99, []roadnet.NodeID{0}, DistanceCost, 0); err == nil {
+		t.Error("bad src: expected error")
+	}
+	if _, _, err := ShortestPaths(g, 0, []roadnet.NodeID{1, 99}, DistanceCost, 0); err == nil {
+		t.Error("bad dst: expected error")
+	}
+	routes, costs, err := ShortestPaths(g, 0, nil, DistanceCost, 0)
+	if err != nil || len(routes) != 0 || len(costs) != 0 {
+		t.Errorf("empty dsts: %v / %v / %v", routes, costs, err)
+	}
+}
+
+// twoIslands is two disconnected 2-node components with symmetric edges.
+func twoIslands() *roadnet.Graph {
+	g := roadnet.NewGraph(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(geo.Point{X: float64(i) * 1000})
+	}
+	g.AddEdge(0, 1, roadnet.Local, 0, 0, 0)
+	g.AddEdge(1, 0, roadnet.Local, 0, 0, 0)
+	g.AddEdge(2, 3, roadnet.Local, 0, 0, 0)
+	g.AddEdge(3, 2, roadnet.Local, 0, 0, 0)
+	return g
+}
+
+// TestMatrixMatchesPairwise: the many-to-many table equals the pairwise
+// single-pair costs, +Inf where unreachable, for plain and preprocessed.
+func TestMatrixMatchesPairwise(t *testing.T) {
+	g := equivGraph(8, 8)
+	rng := rand.New(rand.NewSource(51))
+	for _, tc := range equivCases() {
+		p := prepFor(g, tc.cost)
+		srcs := make([]roadnet.NodeID, 5)
+		dsts := make([]roadnet.NodeID, 7)
+		for i := range srcs {
+			srcs[i] = roadnet.NodeID(rng.Intn(g.NumNodes()))
+		}
+		for j := range dsts {
+			dsts[j] = roadnet.NodeID(rng.Intn(g.NumNodes()))
+		}
+		plain, err := Matrix(g, srcs, dsts, tc.cost, tc.t)
+		if err != nil {
+			t.Fatalf("%s: Matrix error %v", tc.name, err)
+		}
+		prepped, err := p.Matrix(srcs, dsts, tc.t)
+		if err != nil {
+			t.Fatalf("%s: prep Matrix error %v", tc.name, err)
+		}
+		for i, src := range srcs {
+			for j, dst := range dsts {
+				_, c, err := ShortestPath(g, src, dst, tc.cost, tc.t)
+				want := c
+				if err == ErrNoRoute {
+					want = math.Inf(1)
+				} else if err != nil {
+					t.Fatal(err)
+				}
+				if plain[i][j] != want && !(math.IsInf(plain[i][j], 1) && math.IsInf(want, 1)) {
+					t.Fatalf("%s [%d][%d]: plain matrix %v, want %v", tc.name, i, j, plain[i][j], want)
+				}
+				// Exactly-tied optimal routes may settle in a different
+				// order under the prep heuristic; costs agree to rounding.
+				if diff := math.Abs(prepped[i][j] - want); diff > 1e-9*math.Max(1, want) &&
+					!(math.IsInf(prepped[i][j], 1) && math.IsInf(want, 1)) {
+					t.Fatalf("%s [%d][%d]: prep matrix %v, want %v", tc.name, i, j, prepped[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchConcurrent is the -race hammer for the batched API: goroutines
+// share one Preprocessed and the workspace pool, issuing the same batched
+// queries and comparing against serial baselines.
+func TestBatchConcurrent(t *testing.T) {
+	g := equivGraph(10, 10)
+	p := prepFor(g, TravelTimeCost)
+	depart := At(0, 8, 0)
+	rng := rand.New(rand.NewSource(52))
+
+	type want struct {
+		src    roadnet.NodeID
+		dsts   []roadnet.NodeID
+		routes []roadnet.Route
+		costs  []float64
+	}
+	cases := make([]want, 0, 12)
+	for len(cases) < 12 {
+		src := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		w := want{src: src, dsts: randomTargets(rng, g, src, 8)}
+		var err error
+		if w.routes, w.costs, err = p.ShortestPaths(src, w.dsts, depart); err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, w)
+	}
+
+	const goroutines = 12
+	const reps = 25
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for rep := 0; rep < reps; rep++ {
+				w := cases[(gi+rep)%len(cases)]
+				var routes []roadnet.Route
+				var costs []float64
+				var err error
+				if rep%2 == 0 {
+					routes, costs, err = p.ShortestPaths(w.src, w.dsts, depart)
+				} else {
+					routes, costs, err = ShortestPaths(g, w.src, w.dsts, TravelTimeCost, depart)
+				}
+				if err != nil {
+					t.Errorf("src %d: concurrent batch error %v", w.src, err)
+					continue
+				}
+				for i := range w.routes {
+					if !routes[i].Equal(w.routes[i]) || costs[i] != w.costs[i] {
+						t.Errorf("src %d target %d: concurrent batch diverged", w.src, i)
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	before := CounterSnapshot()
+	if _, _, err := p.ShortestPaths(0, []roadnet.NodeID{1, 2, 3}, depart); err != nil {
+		t.Fatal(err)
+	}
+	after := CounterSnapshot()
+	if after.BatchSearches != before.BatchSearches+1 {
+		t.Errorf("BatchSearches advanced by %d, want 1", after.BatchSearches-before.BatchSearches)
+	}
+	if after.BatchTargets != before.BatchTargets+3 {
+		t.Errorf("BatchTargets advanced by %d, want 3", after.BatchTargets-before.BatchTargets)
+	}
+}

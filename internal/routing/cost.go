@@ -58,6 +58,12 @@ func (distanceCost) MinCostPerMeter(g *roadnet.Graph) float64 {
 	return g.MinLengthRatio()
 }
 
+// MinEdgeCost implements EdgeBounder: the distance cost is time-independent,
+// so the edge's own length is an exact per-edge bound — landmark distances
+// under it equal true distance-cost distances, giving ALT its tightest
+// possible triangle-inequality bounds.
+func (distanceCost) MinEdgeCost(_ *roadnet.Graph, e *roadnet.Edge) float64 { return e.Length }
+
 // lightPenaltyMinutes is the expected delay per traffic light used by the
 // travel-time model.
 const lightPenaltyMinutes = 0.5
@@ -85,6 +91,16 @@ func (travelTimeCost) MinCostPerMeter(g *roadnet.Graph) float64 {
 		return 0
 	}
 	return 60 / (1000 * maxKmh) * g.MinLengthRatio()
+}
+
+// MinEdgeCost implements EdgeBounder: free flow on this edge at its own
+// speed limit plus its light penalty. CongestionFactor is always >= 1 (base
+// 1.0 plus non-negative peaks), so BaseTravelMinutes·factor + lights >=
+// BaseTravelMinutes + lights at every departure time — a per-edge bound far
+// tighter than the graph-wide fastest-speed-limit per-meter rate, which is
+// what makes travel-time ALT effective on graphs with mixed road classes.
+func (travelTimeCost) MinEdgeCost(_ *roadnet.Graph, e *roadnet.Edge) float64 {
+	return e.BaseTravelMinutes() + float64(e.Lights)*lightPenaltyMinutes
 }
 
 // TravelMinutes returns the total expected travel time of route r in minutes

@@ -19,6 +19,27 @@ type Stats struct {
 	// fresh or resized workspaces.
 	PoolHits   uint64 `json:"pool_hits"`
 	PoolMisses uint64 `json:"pool_misses"`
+	// BatchSearches counts batched one-to-many searches (ShortestPaths /
+	// Matrix rows); BatchTargets sums their target-list lengths, so
+	// BatchTargets/BatchSearches is the average fan-out a single search
+	// absorbed.
+	BatchSearches uint64 `json:"batch_searches"`
+	BatchTargets  uint64 `json:"batch_targets"`
+	// PrepBuilds counts landmark preprocessing runs; PrepLandmarks sums
+	// landmarks selected across builds, PrepBuildNs sums build wall-time,
+	// and PrepTableBytes sums the distance-table footprints.
+	PrepBuilds     uint64 `json:"prep_builds"`
+	PrepLandmarks  uint64 `json:"prep_landmarks"`
+	PrepBuildNs    uint64 `json:"prep_build_ns"`
+	PrepTableBytes uint64 `json:"prep_table_bytes"`
+	// ALTSearches counts searches that ran with at least one active
+	// landmark; ALTActiveLandmarks sums the active-set sizes (average =
+	// sum/searches); ALTTightened counts queries where the landmark bound
+	// at the source beat the straight-line bound — the fraction of queries
+	// the tables actually helped.
+	ALTSearches        uint64 `json:"alt_searches"`
+	ALTActiveLandmarks uint64 `json:"alt_active_landmarks"`
+	ALTTightened       uint64 `json:"alt_tightened"`
 }
 
 var counters struct {
@@ -28,6 +49,18 @@ var counters struct {
 	heapPushes atomic.Uint64
 	poolHits   atomic.Uint64
 	poolMisses atomic.Uint64
+
+	batchSearches atomic.Uint64
+	batchTargets  atomic.Uint64
+
+	prepBuilds     atomic.Uint64
+	prepLandmarks  atomic.Uint64
+	prepBuildNs    atomic.Uint64
+	prepTableBytes atomic.Uint64
+
+	altSearches  atomic.Uint64
+	altActive    atomic.Uint64
+	altTightened atomic.Uint64
 }
 
 // CounterSnapshot returns the current values of the engine counters. They
@@ -40,5 +73,17 @@ func CounterSnapshot() Stats {
 		HeapPushes:     counters.heapPushes.Load(),
 		PoolHits:       counters.poolHits.Load(),
 		PoolMisses:     counters.poolMisses.Load(),
+
+		BatchSearches: counters.batchSearches.Load(),
+		BatchTargets:  counters.batchTargets.Load(),
+
+		PrepBuilds:     counters.prepBuilds.Load(),
+		PrepLandmarks:  counters.prepLandmarks.Load(),
+		PrepBuildNs:    counters.prepBuildNs.Load(),
+		PrepTableBytes: counters.prepTableBytes.Load(),
+
+		ALTSearches:        counters.altSearches.Load(),
+		ALTActiveLandmarks: counters.altActive.Load(),
+		ALTTightened:       counters.altTightened.Load(),
 	}
 }

@@ -11,11 +11,15 @@ import (
 // ErrNoRoute is returned when the destination is unreachable from the source.
 var ErrNoRoute = errors.New("routing: no route between the given nodes")
 
+// errNodeRange is the argument-validation failure, hoisted to package level
+// so the hot search kernel stays allocation-free even on bad queries.
+var errNodeRange = errors.New("routing: node out of range")
+
 // ShortestPath returns the minimum-cost route from src to dst under cost,
 // departing at time t, along with the total cost.
 func ShortestPath(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime) (roadnet.Route, float64, error) {
 	ws := acquireSpace(g)
-	r, c, err := search(g, src, dst, cost, t, 0, ws, false)
+	r, c, err := search(g, src, dst, cost, t, 0, ws, false, nil)
 	releaseSpace(ws)
 	return r, c, err
 }
@@ -24,17 +28,42 @@ func ShortestPath(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t Si
 // it uses the straight-line distance to dst, scaled by the cost function's
 // MinCostPerMeter lower bound, as an admissible and consistent heuristic.
 // Cost functions without a bound (MinCostPerMeter() == 0) fall back to plain
-// Dijkstra, so AStar is always a safe drop-in for ShortestPath.
+// Dijkstra, so AStar is always a safe drop-in for ShortestPath. For the
+// tighter landmark-based heuristic, build a Preprocessed wrapper and use its
+// AStar method.
 func AStar(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime) (roadnet.Route, float64, error) {
 	ws := acquireSpace(g)
-	r, c, err := search(g, src, dst, cost, t, cost.MinCostPerMeter(g), ws, false)
+	r, c, err := search(g, src, dst, cost, t, cost.MinCostPerMeter(g), ws, false, nil)
 	releaseSpace(ws)
 	return r, c, err
 }
 
-// search is the shared Dijkstra/A* core over a caller-supplied workspace.
-// mcpm > 0 enables the goal-directed heuristic; useBans honors the
-// workspace's current node/edge ban set (Yen spur searches).
+// search wraps searchShared, copying the workspace-backed node sequence into
+// the one exact-length result slice handed to the caller.
+//
+//cplint:hotpath
+func search(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, mcpm float64, ws *searchSpace, useBans bool, prep *Preprocessed) (roadnet.Route, float64, error) {
+	path, c, err := searchShared(g, src, dst, cost, t, mcpm, ws, useBans, prep)
+	if err != nil {
+		return roadnet.Route{}, 0, err
+	}
+	//cplint:ignore hotalloc -- the sanctioned allocation: one exact-length result slice per search (1 alloc/op in BenchmarkShortestPath), handed to the caller so it cannot be pooled
+	nodes := make([]roadnet.NodeID, len(path))
+	copy(nodes, path)
+	return roadnet.Route{Nodes: nodes}, c, nil
+}
+
+// searchShared is the shared Dijkstra/A*/ALT core over a caller-supplied
+// workspace. mcpm > 0 enables the straight-line goal-directed heuristic;
+// prep != nil additionally consults the landmark tables (the heuristic
+// becomes max(landmark bound, straight-line bound), still admissible and
+// consistent); useBans honors the workspace's current node/edge ban set
+// (Yen spur searches).
+//
+// On success the returned node sequence is backed by ws.path: valid until
+// the next search on ws, owned by the workspace. Callers that keep it must
+// copy (search does); callers that consume it immediately (Yen, the batch
+// API) skip the intermediate allocation entirely.
 //
 // The search is bit-identical to the old container/heap engine: the same
 // lazy-deletion queue discipline under the same strict (prio, node) order,
@@ -42,45 +71,58 @@ func AStar(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime) 
 // distance +Inf, so +Inf or NaN edge costs never relax), and the same
 // settled-at-pop cost evaluation time t+dist[u]. With a consistent
 // heuristic, nodes are likewise settled with final distances when popped, so
-// A* computes the same dist values — and, absent exact cost ties between
-// distinct optimal paths, the same prev tree — as Dijkstra.
-//
-// The annotated suppressions below are the complete sanctioned-allocation
-// budget: one result slice per successful search (the PR 5 benchmark's
-// 1 alloc/op), plus two error/degenerate returns off the hot loop.
+// A* — straight-line or landmark — computes the same dist values — and,
+// absent exact cost ties between distinct optimal paths, the same prev
+// tree — as Dijkstra.
 //
 //cplint:hotpath
-func search(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, mcpm float64, ws *searchSpace, useBans bool) (roadnet.Route, float64, error) {
+func searchShared(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime, mcpm float64, ws *searchSpace, useBans bool, prep *Preprocessed) ([]roadnet.NodeID, float64, error) {
 	n := g.NumNodes()
 	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
-		//cplint:ignore hotalloc -- argument-validation failure path: runs once per bad query, never inside the relaxation loop
-		return roadnet.Route{}, 0, errors.New("routing: node out of range")
+		return nil, 0, errNodeRange
 	}
 	if useBans && (ws.banned(src) || ws.banned(dst)) {
-		return roadnet.Route{}, 0, ErrNoRoute
+		return nil, 0, ErrNoRoute
 	}
 	counters.searches.Add(1)
 	if mcpm > 0 {
 		counters.astar.Add(1)
 	}
 	if src == dst {
-		//cplint:ignore hotalloc -- degenerate src==dst return: allocates the one-node result route, the same one-allocation budget as the normal exit
-		return roadnet.NewRoute(src), 0, nil
+		ws.path = ws.path[:0]
+		ws.path = append(ws.path, src)
+		return ws.path, 0, nil
+	}
+
+	var dstPt geo.Point
+	heur := mcpm > 0 || prep != nil
+	if heur {
+		dstPt = g.Node(dst).Pt
+	}
+	if prep != nil {
+		prep.activate(ws, src, dst)
+		if ws.altN > 0 {
+			counters.altSearches.Add(1)
+			counters.altActive.Add(uint64(ws.altN))
+			if ws.altHsrc > geo.Dist(g.Node(src).Pt, dstPt)*mcpm {
+				counters.altTightened.Add(1)
+			}
+		}
 	}
 
 	epoch := ws.beginSearch()
 	var pushes uint64
-	var dstPt geo.Point
-	if mcpm > 0 {
-		dstPt = g.Node(dst).Pt
-	}
 
 	ws.dist[src] = 0
 	ws.prev[src] = -1
 	ws.seen[src] = epoch
 	start := heapEntry{node: src}
-	if mcpm > 0 {
-		start.prio = geo.Dist(g.Node(src).Pt, dstPt) * mcpm
+	if heur {
+		h := geo.Dist(g.Node(src).Pt, dstPt) * mcpm
+		if prep != nil {
+			h = prep.altBound(ws, src, h)
+		}
+		start.prio = h
 	}
 	ws.heapPush(start)
 	pushes++
@@ -126,8 +168,22 @@ func search(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime,
 			ws.dist[v] = nd
 			ws.prev[v] = u
 			prio := nd
-			if mcpm > 0 {
-				prio += geo.Dist(g.Node(v).Pt, dstPt) * mcpm
+			if heur {
+				// Memoized per search: grid nodes are typically improved
+				// by several incoming edges, and the ALT bound costs a
+				// handful of random landmark-table loads per evaluation.
+				var h float64
+				if ws.hseen[v] == epoch {
+					h = ws.hval[v]
+				} else {
+					h = geo.Dist(g.Node(v).Pt, dstPt) * mcpm
+					if prep != nil {
+						h = prep.altBound(ws, v, h)
+					}
+					ws.hseen[v] = epoch
+					ws.hval[v] = h
+				}
+				prio += h
 			}
 			ws.heapPush(heapEntry{prio: prio, node: v})
 			pushes++
@@ -136,27 +192,21 @@ func search(g *roadnet.Graph, src, dst roadnet.NodeID, cost CostFunc, t SimTime,
 	counters.heapPushes.Add(pushes)
 
 	if !found {
-		return roadnet.Route{}, 0, ErrNoRoute
+		return nil, 0, ErrNoRoute
 	}
-	// Reconstruct: count the path length, then fill one exact allocation
-	// backwards. Every node on the chain was settled this epoch, so the
-	// prev pointers are valid and terminate at src (prev[src] == -1).
-	steps := 0
+	// Reconstruct into the workspace scratch, backwards then reversed in
+	// place. Every node on the chain was settled this epoch, so the prev
+	// pointers are valid and terminate at src (prev[src] == -1).
+	ws.path = ws.path[:0]
 	for at := dst; at != -1; at = ws.prev[at] {
-		steps++
+		ws.path = append(ws.path, at)
 		if at == src {
 			break
 		}
 	}
-	//cplint:ignore hotalloc -- the sanctioned allocation: one exact-length result slice per search (1 alloc/op in BenchmarkShortestPath), handed to the caller so it cannot be pooled
-	nodes := make([]roadnet.NodeID, steps)
-	i := steps - 1
-	for at := dst; at != -1; at = ws.prev[at] {
-		nodes[i] = at
-		i--
-		if at == src {
-			break
-		}
+	path := ws.path
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
 	}
-	return roadnet.Route{Nodes: nodes}, ws.dist[dst], nil
+	return path, ws.dist[dst], nil
 }

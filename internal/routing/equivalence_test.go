@@ -268,7 +268,7 @@ func TestHeapMatchesContainerHeapOrder(t *testing.T) {
 func TestRootCostsBrokenPrefix(t *testing.T) {
 	g := diamond()
 	// 0-1-3-4 is a real chain: no broken index, costs accumulate.
-	out, broken := rootCosts(g, []roadnet.NodeID{0, 1, 3, 4}, DistanceCost, 0)
+	out, broken := rootCosts(g, []roadnet.NodeID{0, 1, 3, 4}, DistanceCost, 0, nil)
 	if broken != 3 || len(out) != 4 {
 		t.Fatalf("intact chain: broken=%d len=%d", broken, len(out))
 	}
@@ -281,7 +281,7 @@ func TestRootCostsBrokenPrefix(t *testing.T) {
 	}
 	// 0-3 has no direct edge: the old prefixCost returned 0 for the whole
 	// prefix (underpricing any candidate built on it); rootCosts flags it.
-	out, broken = rootCosts(g, []roadnet.NodeID{0, 3, 4}, DistanceCost, 0)
+	out, broken = rootCosts(g, []roadnet.NodeID{0, 3, 4}, DistanceCost, 0, nil)
 	if broken != 0 {
 		t.Fatalf("broken chain: broken=%d, want 0", broken)
 	}
@@ -289,7 +289,7 @@ func TestRootCostsBrokenPrefix(t *testing.T) {
 		t.Fatalf("broken chain out=%v, want [0]", out)
 	}
 	// Broken mid-chain: 0-1 exists, 1-4 does not.
-	_, broken = rootCosts(g, []roadnet.NodeID{0, 1, 4}, DistanceCost, 0)
+	_, broken = rootCosts(g, []roadnet.NodeID{0, 1, 4}, DistanceCost, 0, nil)
 	if broken != 1 {
 		t.Fatalf("mid-broken chain: broken=%d, want 1", broken)
 	}

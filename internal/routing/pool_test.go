@@ -134,6 +134,34 @@ func TestWarmSearchAllocations(t *testing.T) {
 	}
 }
 
+// TestKShortestWarmAllocations pins the Yen allocation rework: the old
+// engine allocated ~156 times per k=4 call (string route keys for dedup, a
+// fresh route slice per spur, container/heap boxing); the pooled slab +
+// integer-sequence dedup brings a warm call down to the k result routes plus
+// a few fixed slices. The bound 3k+4 leaves room for map/slice growth noise
+// while still catching any per-spur allocation regression by an order of
+// magnitude.
+func TestKShortestWarmAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	cfg := roadnet.DefaultGenConfig()
+	cfg.Cols, cfg.Rows = 10, 10
+	g := roadnet.Generate(cfg)
+	src, dst := roadnet.NodeID(3), roadnet.NodeID(g.NumNodes()-4)
+	for _, k := range []int{2, 4, 8} {
+		if _, _, err := KShortest(g, src, dst, k, DistanceCost, 0); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			_, _, _ = KShortest(g, src, dst, k, DistanceCost, 0)
+		})
+		if limit := float64(3*k + 4); allocs > limit {
+			t.Errorf("warm KShortest k=%d allocs/op = %v, want <= %v", k, allocs, limit)
+		}
+	}
+}
+
 // TestPoolCountersMove sanity-checks the health counters: searches, heap
 // pushes and pool hits must all advance across a batch of warm searches.
 func TestPoolCountersMove(t *testing.T) {

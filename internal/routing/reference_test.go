@@ -230,6 +230,20 @@ func refKShortest(g *roadnet.Graph, src, dst roadnet.NodeID, k int, cost CostFun
 	return routes, costs, nil
 }
 
+// routeKey renders a route as a compact string key for dedup maps. The
+// production engine replaced string keys with the yenState slab set; the
+// reference keeps them, and lessSeqLE is pinned against this rendering (see
+// equivalence_test.go).
+func routeKey(r roadnet.Route) string { return nodesKey(r.Nodes) }
+
+func nodesKey(nodes []roadnet.NodeID) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, n := range nodes {
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return string(b)
+}
+
 func refPrefixCost(g *roadnet.Graph, nodes []roadnet.NodeID, cost CostFunc, t SimTime) float64 {
 	var total float64
 	for i := 1; i < len(nodes); i++ {

@@ -3,8 +3,15 @@ package routing
 import (
 	"sync"
 
+	"crowdplanner/internal/geo"
 	"crowdplanner/internal/roadnet"
 )
+
+// maxActiveLandmarks caps the per-query active landmark set. Eight covers
+// the useful tightness range — beyond that the extra max() terms cost more
+// per relaxed edge than they save in popped nodes — and a fixed cap lets the
+// single-target state live inline in the workspace with zero allocations.
+const maxActiveLandmarks = 8
 
 // searchSpace is the reusable scratch state of one graph search: the
 // dist/prev labels, the settled marks, the priority-queue storage, and the
@@ -32,6 +39,45 @@ type searchSpace struct {
 	banNode  []uint32
 	banEdge  []uint32
 	banEpoch uint32
+
+	// path is the route-reconstruction scratch: searchShared leaves the
+	// found node sequence here, valid until the next search on this
+	// workspace. Public entry points copy it into an exact-size result;
+	// Yen appends it straight into its candidate scratch without the
+	// intermediate allocation.
+	path []roadnet.NodeID
+
+	// targ marks the still-relevant targets of a multi-target (batched)
+	// search, epoch-stamped like seen/done: targ[v] == epoch means v is a
+	// destination the current batch search must settle.
+	targ []uint32
+
+	// hseen/hval memoize the heuristic per node within one search. ALT
+	// bounds cost a handful of random loads from large landmark tables per
+	// evaluation, and grid nodes are re-improved by several incoming edges;
+	// the cache turns those repeats into one array read.
+	hseen []uint32
+	hval  []float64
+
+	// ALT single-target state: the per-query active landmarks (indices
+	// into the Preprocessed slabs) with their forward/reverse distances at
+	// the destination, filled by Preprocessed.activate. altHsrc is the
+	// heuristic value at the source, kept for the bound-tightness counter.
+	altN     int
+	altHsrc  float64
+	altLands [maxActiveLandmarks]int32
+	altFdst  [maxActiveLandmarks]float64
+	altRdst  [maxActiveLandmarks]float64
+
+	// Multi-target ALT state (batched searches): per-target active
+	// landmark rows and destination distances, maxActiveLandmarks entries
+	// per target, plus the target points for the straight-line term. All
+	// grown in place and recycled with the workspace.
+	mtN     []int32
+	mtLands []int32
+	mtFdst  []float64
+	mtRdst  []float64
+	mtPts   []geo.Point
 }
 
 // wsPool recycles searchSpaces across searches and goroutines. Workspaces
@@ -72,6 +118,9 @@ func (ws *searchSpace) ensure(nodes, edges int) {
 		ws.seen = make([]uint32, nodes)
 		ws.done = make([]uint32, nodes)
 		ws.banNode = make([]uint32, nodes)
+		ws.targ = make([]uint32, nodes)
+		ws.hseen = make([]uint32, nodes)
+		ws.hval = make([]float64, nodes)
 	}
 	if len(ws.banEdge) < edges {
 		ws.banEdge = make([]uint32, edges)
@@ -87,6 +136,8 @@ func (ws *searchSpace) beginSearch() uint32 {
 	if ws.epoch == 0 { // wraparound: clear for real, then skip the zero epoch
 		clear(ws.seen)
 		clear(ws.done)
+		clear(ws.targ)
+		clear(ws.hseen)
 		ws.epoch = 1
 	}
 	ws.heap = ws.heap[:0]

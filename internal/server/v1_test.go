@@ -286,6 +286,14 @@ func TestV1HealthMetricsAndRequestID(t *testing.T) {
 		t.Errorf("echoed rid = %q", rid)
 	}
 
+	// Run one recommendation through the serving path first, so the routing
+	// section below reflects a prep-tier (ALT) search regardless of which
+	// tests ran before this one.
+	trip := w.Data.Trips[0]
+	postJSON(t, srv.URL+"/v1/recommend", RecommendRequest{
+		From: trip.Route.Source(), To: trip.Route.Dest(), DepartMin: float64(trip.Depart),
+	}).Body.Close()
+
 	h := decode[HealthV1Response](t, mustGet(t, srv.URL+"/v1/health"))
 	if h.Status != "ok" || h.OpenTasks != 0 || h.UptimeSec <= 0 {
 		t.Errorf("health = %+v", h)
@@ -305,6 +313,21 @@ func TestV1HealthMetricsAndRequestID(t *testing.T) {
 	}
 	if h.Routing.AStarSearches > h.Routing.Searches {
 		t.Errorf("more A* searches than searches: %+v", h.Routing)
+	}
+	// The preprocessing tier is on by default, so building the test world
+	// ran one landmark build per cost model, and the serving path's
+	// goal-directed searches went through the ALT bound.
+	if h.Routing.PrepBuilds < 2 || h.Routing.PrepLandmarks < h.Routing.PrepBuilds {
+		t.Errorf("prep counters empty: %+v", h.Routing)
+	}
+	if h.Routing.PrepTableBytes == 0 || h.Routing.PrepBuildNs == 0 {
+		t.Errorf("prep cost counters empty: %+v", h.Routing)
+	}
+	if h.Routing.ALTSearches == 0 || h.Routing.ALTActiveLandmarks < h.Routing.ALTSearches {
+		t.Errorf("ALT counters inconsistent: %+v", h.Routing)
+	}
+	if h.Routing.ALTSearches > h.Routing.Searches {
+		t.Errorf("more ALT searches than searches: %+v", h.Routing)
 	}
 }
 

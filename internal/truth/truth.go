@@ -253,6 +253,42 @@ func (db *DB) Confidence(g *roadnet.Graph, candidate roadnet.Route, t routing.Si
 		return 0
 	}
 	near := db.Near(g, candidate.Source(), candidate.Dest(), t, radius, slotTol)
+	return scoreAgainst(g, candidate, near, radius)
+}
+
+// ConfidenceBatch scores several candidate routes in one pass, running Near
+// once per distinct OD pair instead of once per candidate. The recommendation
+// fan-out is the motivating caller: all its candidates share the request's OD
+// pair, so the truth lookup — the dominant cost of scoring — collapses from
+// one scan per candidate to one scan total. Scores are identical to calling
+// Confidence per candidate (same Near ordering, same accumulation sequence).
+func (db *DB) ConfidenceBatch(g *roadnet.Graph, candidates []roadnet.Route, t routing.SimTime, radius float64, slotTol int) []float64 {
+	out := make([]float64, len(candidates))
+	type od struct{ from, to roadnet.NodeID }
+	var nearCache map[od][]Entry
+	for i, c := range candidates {
+		if c.Empty() {
+			continue
+		}
+		key := od{c.Source(), c.Dest()}
+		near, ok := nearCache[key]
+		if !ok {
+			near = db.Near(g, key.from, key.to, t, radius, slotTol)
+			if nearCache == nil {
+				nearCache = make(map[od][]Entry, 1)
+			}
+			nearCache[key] = near
+		}
+		out[i] = scoreAgainst(g, c, near, radius)
+	}
+	return out
+}
+
+// scoreAgainst is the shared scoring kernel of Confidence and
+// ConfidenceBatch: each nearby truth votes with weight decaying in endpoint
+// distance, and its vote is the route-similarity between the candidate and
+// the truth's route.
+func scoreAgainst(g *roadnet.Graph, candidate roadnet.Route, near []Entry, radius float64) float64 {
 	if len(near) == 0 {
 		return 0
 	}

@@ -263,3 +263,44 @@ func TestConfidenceRange(t *testing.T) {
 		}
 	}
 }
+
+// TestConfidenceBatchMatchesSingle pins the batched scorer's contract:
+// ConfidenceBatch returns bit-identical scores to calling Confidence per
+// candidate — same Near ordering, same accumulation sequence — including for
+// empty candidates, repeated routes, and candidates whose OD pairs differ
+// (each distinct pair gets its own Near scan, cached within the call).
+func TestConfidenceBatchMatchesSingle(t *testing.T) {
+	g := corridor()
+	db := NewDB(24)
+	tm := routing.At(0, 9, 0)
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: top(), Confidence: 0.9})
+	db.Store(Entry{From: 0, To: 3, Slot: tm.Slot(24), Route: bottom(), Confidence: 0.6})
+	db.Store(Entry{From: 6, To: 7, Slot: tm.Slot(24), Route: roadnet.NewRoute(6, 0, 1, 2, 3, 7), Confidence: 1})
+
+	cands := []roadnet.Route{
+		top(),
+		bottom(),
+		{},                                 // empty: no evidence, scores 0
+		roadnet.NewRoute(6, 0, 4, 5, 3, 7), // different OD pair
+		top(),                              // repeat: served from the per-call Near cache
+	}
+	got := db.ConfidenceBatch(g, cands, tm, 200, 1)
+	if len(got) != len(cands) {
+		t.Fatalf("batch returned %d scores for %d candidates", len(got), len(cands))
+	}
+	for i, c := range cands {
+		want := db.Confidence(g, c, tm, 200, 1)
+		if got[i] != want {
+			t.Errorf("candidate %d: batch = %v, single = %v", i, got[i], want)
+		}
+	}
+	if got[2] != 0 {
+		t.Errorf("empty candidate scored %v, want 0", got[2])
+	}
+	if got[0] != got[4] {
+		t.Errorf("repeated candidate diverged: %v vs %v", got[0], got[4])
+	}
+	if got[0] == 0 {
+		t.Error("exact truth route scored 0; the fixture should provide evidence")
+	}
+}
