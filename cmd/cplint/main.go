@@ -1,9 +1,10 @@
 // Command cplint runs CrowdPlanner's project-invariant static-analysis
-// suite (internal/analysis) over the module: determinism of map iteration,
-// the no-I/O-under-lock WAL discipline, lock-ordering deadlock freedom,
-// goroutine termination signals, allocation-free hot paths, context
-// propagation, wall-clock and global-RNG hygiene, and errors.Is
-// classification of sentinels.
+// suite (internal/analysis) over the module: determinism of map iteration
+// and of floating-point folds, the no-I/O-under-lock WAL discipline,
+// lock-ordering deadlock freedom, machine-checked //cplint:guardedby field
+// contracts, sync.Pool object lifetimes, goroutine termination signals,
+// allocation-free hot paths, context propagation, wall-clock and global-RNG
+// hygiene, and errors.Is classification of sentinels.
 //
 // Usage:
 //
@@ -57,7 +58,12 @@ type jsonReport struct {
 	LoadTimings     []jsonTiming `json:"load_timings,omitempty"`
 	AnalyzerTimings []jsonTiming `json:"analyzer_timings,omitempty"`
 	CallGraphMs     int64        `json:"callgraph_ms,omitempty"`
-	TotalMs         int64        `json:"total_ms,omitempty"`
+	// CFGTimings reports, per package, the wall time spent building the
+	// shared control-flow graphs the dataflow analyzers (poolescape,
+	// mutguard, floatdet) run over; CfgMs is their sum.
+	CFGTimings []jsonTiming `json:"cfg_timings,omitempty"`
+	CfgMs      int64        `json:"cfg_ms,omitempty"`
+	TotalMs    int64        `json:"total_ms,omitempty"`
 }
 
 // run is the testable entry point; dir overrides the working directory for
@@ -135,6 +141,10 @@ func run(args []string, stdout, stderr io.Writer, dir string) int {
 				rep.AnalyzerTimings = append(rep.AnalyzerTimings, jsonTiming{Name: t.Name, Ms: t.Duration.Milliseconds()})
 			}
 			rep.CallGraphMs = res.CallGraphTime.Milliseconds()
+			for _, t := range res.CFGTimings {
+				rep.CFGTimings = append(rep.CFGTimings, jsonTiming{Name: t.Name, Ms: t.Duration.Milliseconds()})
+			}
+			rep.CfgMs = res.CFGTime.Milliseconds()
 			rep.TotalMs = time.Since(start).Milliseconds()
 		}
 		enc := json.NewEncoder(stdout)
@@ -169,6 +179,10 @@ func printTimings(w io.Writer, loads []analysis.Timing, res analysis.Result, tot
 		fmt.Fprintf(w, "timing:   %-50s %8s\n", t.Name, t.Duration.Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "timing: call graph %s\n", res.CallGraphTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "timing: cfg build %s (per package):\n", res.CFGTime.Round(time.Millisecond))
+	for _, t := range res.CFGTimings {
+		fmt.Fprintf(w, "timing:   %-50s %8s\n", t.Name, t.Duration.Round(time.Millisecond))
+	}
 	fmt.Fprintf(w, "timing: analyzers:\n")
 	for _, t := range res.AnalyzerTimings {
 		fmt.Fprintf(w, "timing:   %-12s %8s\n", t.Name, t.Duration.Round(time.Millisecond))

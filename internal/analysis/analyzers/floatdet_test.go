@@ -1,0 +1,22 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestFloatdet checks order-sensitive float folds: direct and collected
+// map-range feeds, math.Max and builtin-min folds, channel-receive merges,
+// and goroutine-shared accumulators are findings; sorted-key folds, integer
+// accumulation, and indexed per-goroutine partials pass; and the whole
+// analyzer is scoped to deterministic packages (floatneg repeats the
+// positive shapes under an experiments path without findings).
+func TestFloatdet(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Floatdet,
+		"../testdata/mod/floatdet", map[string]string{
+			"crowdplanner/internal/popular/floatfix":     "floatfix",
+			"crowdplanner/internal/experiments/floatneg": "floatneg",
+		})
+}

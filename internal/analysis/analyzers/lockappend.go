@@ -64,7 +64,7 @@ func runLockappend(pass *analysis.ModulePass) {
 		}
 		for _, file := range pkg.Files {
 			for _, fd := range enclosingFuncs(file) {
-				events, calls := scanLockBody(pkg.Info, fd)
+				events, calls := scanLockBody(pkg.Info, fd.Body)
 				if len(events) == 0 {
 					continue
 				}

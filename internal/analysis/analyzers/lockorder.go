@@ -59,7 +59,7 @@ func runLockorder(pass *analysis.ModulePass) {
 	}
 	scans := make(map[*types.Func]fnScan)
 	for _, n := range g.Nodes() {
-		ev, calls := scanLockBody(n.Pkg.Info, n.Decl)
+		ev, calls := scanLockBody(n.Pkg.Info, n.Decl.Body)
 		if len(ev) > 0 || len(calls) > 0 {
 			scans[n.Func] = fnScan{events: ev, calls: calls}
 		}

@@ -17,6 +17,7 @@ type lockEvent struct {
 	key      string // canonical mutex identity (see mutexKey)
 	recv     string // rendered receiver expression, e.g. "s.mu", for messages
 	acquire  bool
+	read     bool // RLock/RUnlock: a shared (read) region, not exclusive
 	deferred bool
 }
 
@@ -100,11 +101,12 @@ func isSyncMutexType(named *types.Named) bool {
 		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
 }
 
-// scanLockBody walks fd's body outside nested function literals, returning
-// the lock events and the other call sites in source order. Deferred calls
-// are recorded at their textual position; deferred unlocks are marked so
-// region logic can treat the lock as held to function end.
-func scanLockBody(info *types.Info, fd *ast.FuncDecl) (events []lockEvent, calls []regionCall) {
+// scanLockBody walks body (a function or function-literal body) outside
+// nested function literals, returning the lock events and the other call
+// sites in source order. Deferred calls are recorded at their textual
+// position; deferred unlocks are marked so region logic can treat the lock
+// as held to function end.
+func scanLockBody(info *types.Info, body ast.Node) (events []lockEvent, calls []regionCall) {
 	var walk func(n ast.Node, inDefer bool)
 	walk = func(root ast.Node, inDefer bool) {
 		ast.Inspect(root, func(n ast.Node) bool {
@@ -129,6 +131,7 @@ func scanLockBody(info *types.Info, fd *ast.FuncDecl) (events []lockEvent, calls
 					events = append(events, lockEvent{
 						pos: x.Pos(), key: key, recv: recv,
 						acquire:  kind == "Lock" || kind == "RLock",
+						read:     kind == "RLock" || kind == "RUnlock",
 						deferred: inDefer,
 					})
 					return true
@@ -138,7 +141,7 @@ func scanLockBody(info *types.Info, fd *ast.FuncDecl) (events []lockEvent, calls
 			return true
 		})
 	}
-	walk(fd.Body, false)
+	walk(body, false)
 	return events, calls
 }
 

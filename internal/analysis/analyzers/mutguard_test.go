@@ -1,0 +1,23 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestMutguard checks the guardedby contract end to end: locked and
+// inferred-held accesses pass (including a cross-package lock region and a
+// comparator literal defined inside one), unlocked reads/writes, go-closure
+// escapes, and writes under RLock are findings with example call chains, the
+// constructor exemption applies, and the directive vocabulary itself is
+// validated (unresolvable spec, missing spec, embedded fields, prose-only
+// contracts, misplaced directives).
+func TestMutguard(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Mutguard,
+		"../testdata/mod/mutguard", map[string]string{
+			"crowdplanner/internal/fix/guarded":  "guarded",
+			"crowdplanner/internal/fix/guarduse": "guarduse",
+		})
+}

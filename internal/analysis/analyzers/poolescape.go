@@ -1,0 +1,546 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crowdplanner/internal/analysis"
+)
+
+// Poolescape enforces the pooled-workspace ownership discipline the PR 5/8
+// routing engine depends on: a value acquired from a sync.Pool — directly via
+// Get or through an acquire-wrapper like routing.acquireSpace — is recycled
+// by the corresponding Put, so nothing aliasing it (the object, a field
+// slice, a re-slice of one) may outlive that Put. Concretely, on any path
+// that also reaches the Put (before or after it — both orders mean the alias
+// outlives the recycle), an alias must not be:
+//
+//   - returned to the caller (result routes must be fresh copies — the
+//     make+copy in routing.search is the sanctioned shape)
+//   - stored to caller-visible or package-level memory
+//   - sent on a channel
+//   - captured by a go statement or a stored closure
+//
+// The analysis composes the dataflow tier with call-graph summaries, so the
+// real tree's wrappers resolve without annotations: acquireSpace/acquireYen
+// are recognized as pool sources (they return a Get-rooted alias),
+// releaseSpace/releaseYen as Puts (they pass a parameter to Pool.Put), and
+// searchShared/rootCosts as alias-returning helpers (their result aliases a
+// parameter), all by fixpoint over the call graph, nested wrappers included.
+// Element-copying appends (append(dst, pooled...) with value elements) and
+// stores into the pooled object itself (ws.path = ...) do not alias out.
+//
+// Functions with pool roots but no Put transfer ownership to their caller
+// (the acquire-wrapper shape) and are checked at the caller's Put instead.
+// Closures passed directly as call arguments are assumed synchronous and not
+// flagged — a documented gap, matching hotalloc's treatment of dynamic sites.
+var Poolescape = &analysis.Analyzer{
+	Name:      "poolescape",
+	Doc:       "values aliasing a sync.Pool object must not escape (return/heap store/channel send/go or stored closure) on any path reaching the Put",
+	RunModule: runPoolescape,
+}
+
+// poolSummary is the per-function interprocedural summary the fixpoint
+// computes: how the function participates in pool ownership when viewed from
+// a call site.
+type poolSummary struct {
+	// returnsPooled: some result aliases a pool object acquired inside the
+	// function (the acquire-wrapper shape) — callers treat the call as a root.
+	returnsPooled bool
+	// putsParams: parameter indices the function hands to sync.Pool.Put
+	// (directly or through another put-wrapper) — callers treat the call as
+	// the Put of the corresponding argument.
+	putsParams map[int]bool
+	// returnsParamAlias: parameter indices some result aliases — callers
+	// propagate aliasing through the call (searchShared returning ws.path).
+	returnsParamAlias map[int]bool
+	// escapesParams: parameter indices the function itself escapes (heap
+	// store, channel send, go/stored closure) — passing an alias there is an
+	// escape at the call site.
+	escapesParams map[int]bool
+}
+
+func (s *poolSummary) equal(o *poolSummary) bool {
+	if o == nil {
+		return false
+	}
+	return s.returnsPooled == o.returnsPooled &&
+		sameIntSet(s.putsParams, o.putsParams) &&
+		sameIntSet(s.returnsParamAlias, o.returnsParamAlias) &&
+		sameIntSet(s.escapesParams, o.escapesParams)
+}
+
+func sameIntSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func runPoolescape(pass *analysis.ModulePass) {
+	g := pass.Graph
+	summaries := make(map[*types.Func]*poolSummary)
+
+	// Summary fixpoint: wrappers can nest (a helper calling releaseSpace is
+	// itself a put-wrapper), so iterate until no summary changes.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			s := computePoolSummary(n, summaries)
+			if !s.equal(summaries[n.Func]) {
+				summaries[n.Func] = s
+				changed = true
+			}
+		}
+	}
+
+	// Finding pass: for every function that acquires a pool object and also
+	// releases it, check every escape of every alias against Put
+	// reachability on the CFG.
+	for _, n := range g.Nodes() {
+		checkPoolOwner(pass, n, summaries)
+	}
+}
+
+// poolRoots returns the top-level call expressions in n that acquire a pool
+// object: sync.Pool.Get sites and calls to returnsPooled wrappers. Calls
+// inside nested literals are excluded — they run on another activation.
+func poolRoots(n *analysis.CallNode, summaries map[*types.Func]*poolSummary) []*ast.CallExpr {
+	var roots []*ast.CallExpr
+	for _, site := range n.Out {
+		if site.InLiteral || site.Callee == nil || site.Dynamic {
+			continue
+		}
+		if isMethodOn(site.Callee, "sync", "Pool", "Get") {
+			roots = append(roots, site.Call)
+			continue
+		}
+		if s := summaries[site.Callee]; s != nil && s.returnsPooled {
+			roots = append(roots, site.Call)
+		}
+	}
+	return roots
+}
+
+// latticeFor builds the alias lattice for one root predicate over n's body,
+// with the interprocedural hook: calls to alias-returning wrappers propagate,
+// and append only propagates through its destination (or through variadic
+// expansion when the elements themselves carry references).
+func latticeFor(n *analysis.CallNode, isRoot func(ast.Expr) bool, summaries map[*types.Func]*poolSummary) *analysis.AliasLattice {
+	info := n.Pkg.Info
+	al := &analysis.AliasLattice{Info: info, IsRoot: isRoot}
+	al.CallAliases = func(call *ast.CallExpr, argAliases func(ast.Expr) bool) bool {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "append":
+					if len(call.Args) == 0 {
+						return false
+					}
+					if argAliases(call.Args[0]) {
+						return true
+					}
+					// append(dst, pooled...) shares backing only when the
+					// appended elements themselves carry references; copying
+					// value elements (node IDs, floats) severs the alias.
+					if call.Ellipsis.IsValid() {
+						last := call.Args[len(call.Args)-1]
+						if argAliases(last) {
+							if st, ok := info.TypeOf(last).Underlying().(*types.Slice); ok {
+								return analysis.RefLike(st.Elem())
+							}
+							return true
+						}
+					}
+					return false
+				}
+				return false
+			}
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return false
+		}
+		if s := summaries[callee]; s != nil {
+			for i, arg := range call.Args {
+				if s.returnsParamAlias[i] && argAliases(arg) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return al
+}
+
+// computePoolSummary derives one function's summary given the current
+// summaries of everything else.
+func computePoolSummary(n *analysis.CallNode, summaries map[*types.Func]*poolSummary) *poolSummary {
+	s := &poolSummary{
+		putsParams:        make(map[int]bool),
+		returnsParamAlias: make(map[int]bool),
+		escapesParams:     make(map[int]bool),
+	}
+	info := n.Pkg.Info
+
+	// Acquire-wrapper shape: a lattice rooted at this function's own pool
+	// roots, checked against its returns.
+	if roots := poolRoots(n, summaries); len(roots) > 0 {
+		rootSet := make(map[*ast.CallExpr]bool, len(roots))
+		for _, r := range roots {
+			rootSet[r] = true
+		}
+		al := latticeFor(n, func(e ast.Expr) bool {
+			c, ok := e.(*ast.CallExpr)
+			return ok && rootSet[c]
+		}, summaries)
+		al.Compute(cfgOf(n))
+		if returnsAlias(n.Decl.Body, al) {
+			s.returnsPooled = true
+		}
+	}
+
+	// Per-parameter behavior: root the lattice at the parameter and observe
+	// what the body does with its aliases.
+	for i, pv := range paramVars(info, n.Decl) {
+		if pv == nil || !analysis.RefLike(pv.Type()) {
+			continue
+		}
+		al := latticeFor(n, func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && identObj(info, id) == pv
+		}, summaries)
+		al.Compute(cfgOf(n))
+		if hasPut(n, al, summaries) != nil {
+			s.putsParams[i] = true
+		}
+		if returnsAlias(n.Decl.Body, al) {
+			s.returnsParamAlias[i] = true
+		}
+		if len(findPoolEscapes(n, al, summaries, false)) > 0 {
+			s.escapesParams[i] = true
+		}
+	}
+	return s
+}
+
+// cfgOf builds a throwaway CFG for summary lattices. Summaries are
+// flow-insensitive, so the uncached graph is only iteration order; the cached
+// (timed) CFG from ModulePass is reserved for the finding pass.
+func cfgOf(n *analysis.CallNode) *analysis.CFG {
+	return analysis.NewCFG(n.Decl.Body)
+}
+
+// paramVars lists the declared parameter objects in order (nil for _).
+func paramVars(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// returnsAlias reports whether any top-level return statement returns an
+// aliasing expression. Returns inside nested literals belong to the literal.
+func returnsAlias(body *ast.BlockStmt, al *analysis.AliasLattice) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if al.Aliases(r) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// poolPut is one release point: the call that hands an alias back to the
+// pool, and whether it is deferred (executes at function exit).
+type poolPut struct {
+	call     *ast.CallExpr
+	deferred bool
+}
+
+// hasPut returns the Puts of the rooted object in n: direct sync.Pool.Put
+// calls and calls to put-wrapper callees whose putsParams position receives
+// an alias. nil when the function never releases the object.
+func hasPut(n *analysis.CallNode, al *analysis.AliasLattice, summaries map[*types.Func]*poolSummary) []poolPut {
+	var puts []poolPut
+	for _, site := range n.Out {
+		if site.InLiteral || site.Callee == nil || site.Dynamic {
+			continue
+		}
+		if isMethodOn(site.Callee, "sync", "Pool", "Put") {
+			if len(site.Call.Args) == 1 && al.Aliases(site.Call.Args[0]) {
+				puts = append(puts, poolPut{call: site.Call, deferred: site.InDefer})
+			}
+			continue
+		}
+		if s := summaries[site.Callee]; s != nil {
+			for i, arg := range site.Call.Args {
+				if s.putsParams[i] && al.Aliases(arg) {
+					puts = append(puts, poolPut{call: site.Call, deferred: site.InDefer})
+					break
+				}
+			}
+		}
+	}
+	return puts
+}
+
+// poolEscape is one point where an alias leaves the function's control.
+type poolEscape struct {
+	pos  token.Pos
+	desc string
+}
+
+// findPoolEscapes scans n's body for escapes of the lattice's aliases. When
+// includeReturns is false (parameter-summary mode) returns are excluded —
+// returning a parameter alias is the searchShared shape, reported separately
+// through returnsParamAlias.
+func findPoolEscapes(n *analysis.CallNode, al *analysis.AliasLattice, summaries map[*types.Func]*poolSummary, includeReturns bool) []poolEscape {
+	info := n.Pkg.Info
+	var escapes []poolEscape
+	add := func(pos token.Pos, desc string) {
+		escapes = append(escapes, poolEscape{pos: pos, desc: desc})
+	}
+	// storedClosure flags an expression that is a function literal capturing
+	// an alias — aliasing leaks when such a literal is stored or returned.
+	storedClosure := func(e ast.Expr) bool {
+		lit, ok := ast.Unparen(e).(*ast.FuncLit)
+		return ok && closureCapturesAlias(info, lit, al)
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false // escapes inside a literal are attributed at its use
+		case *ast.ReturnStmt:
+			if !includeReturns {
+				return true
+			}
+			for _, r := range x.Results {
+				if al.Aliases(r) {
+					add(r.Pos(), "is returned to the caller")
+				} else if storedClosure(r) {
+					add(r.Pos(), "is captured by a returned closure")
+				}
+			}
+		case *ast.SendStmt:
+			if al.Aliases(x.Value) {
+				add(x.Value.Pos(), "is sent on a channel")
+			} else if storedClosure(x.Value) {
+				add(x.Value.Pos(), "is captured by a closure sent on a channel")
+			}
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				if al.Aliases(arg) {
+					add(arg.Pos(), "is passed to a goroutine")
+				}
+			}
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok && closureCapturesAlias(info, lit, al) {
+				add(x.Pos(), "is captured by a go closure")
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				var rhs ast.Expr
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				} else if len(x.Rhs) == 1 {
+					rhs = x.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				leaks := al.Aliases(rhs)
+				closure := !leaks && storedClosure(rhs)
+				if !leaks && !closure {
+					continue
+				}
+				if dst := heapStoreDest(info, al, lhs, n.Decl); dst != "" {
+					if closure {
+						add(rhs.Pos(), "is captured by a closure stored to "+dst)
+					} else {
+						add(rhs.Pos(), "is stored to "+dst)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(info, x)
+			if callee == nil {
+				return true
+			}
+			if s := summaries[callee]; s != nil {
+				for i, arg := range x.Args {
+					if s.escapesParams[i] && al.Aliases(arg) {
+						add(arg.Pos(), "is passed to "+analysis.FuncDisplay(callee)+", which lets it escape")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// heapStoreDest classifies an assignment destination: "" when the store
+// stays inside the function's own control (a local variable — the lattice
+// tracks it — or the pooled object itself, where internal bookkeeping like
+// ws.path = append(...) is the designed shape). Anything else — package
+// state, another parameter's object, memory behind a call result — names
+// where the alias leaked.
+func heapStoreDest(info *types.Info, al *analysis.AliasLattice, lhs ast.Expr, fd *ast.FuncDecl) string {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return ""
+		}
+		if v, ok := identObj(info, id).(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "package variable " + v.Name()
+			}
+			return "" // local (or parameter rebinding): lattice propagation
+		}
+		return ""
+	}
+	base := analysis.BaseIdent(lhs)
+	if base == nil {
+		return "memory behind " + exprString(lhs)
+	}
+	if al.Aliases(base) {
+		return "" // store into the pooled object itself: internal
+	}
+	v, ok := identObj(info, base).(*types.Var)
+	if !ok {
+		return ""
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return "package variable " + v.Name()
+	}
+	if isParamOf(info, fd, v) {
+		return "caller-visible object " + v.Name()
+	}
+	// A store through a plain local (b.s = alias): the lattice marks b and
+	// the escape is caught where b itself leaks.
+	return ""
+}
+
+// isParamOf reports whether v is one of fd's declared parameters (receiver
+// included — storing into the receiver's object is caller-visible too).
+func isParamOf(info *types.Info, fd *ast.FuncDecl, v *types.Var) bool {
+	for _, pv := range paramVars(info, fd) {
+		if pv == v {
+			return true
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// closureCapturesAlias reports whether a function literal's body references
+// an aliasing variable from the enclosing function.
+func closureCapturesAlias(info *types.Info, lit *ast.FuncLit, al *analysis.AliasLattice) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if al.Aliases(id) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPoolOwner runs the finding pass on one function: for each pool root
+// acquired here, if the function also releases it, every escape on a path
+// that reaches the Put (in either order — both mean the alias outlives the
+// recycle) is a finding.
+func checkPoolOwner(pass *analysis.ModulePass, n *analysis.CallNode, summaries map[*types.Func]*poolSummary) {
+	roots := poolRoots(n, summaries)
+	if len(roots) == 0 {
+		return
+	}
+	cfg := pass.CFG(n.Pkg, n.Decl.Body)
+	for _, root := range roots {
+		al := latticeFor(n, func(e ast.Expr) bool {
+			c, ok := e.(*ast.CallExpr)
+			return ok && c == root
+		}, summaries)
+		al.Compute(cfg)
+		puts := hasPut(n, al, summaries)
+		if len(puts) == 0 {
+			continue // ownership transferred to the caller (acquire-wrapper)
+		}
+		escapes := findPoolEscapes(n, al, summaries, true)
+		for _, e := range escapes {
+			eb := cfg.BlockOf(e.pos)
+			for _, put := range puts {
+				pb := cfg.Exit
+				if !put.deferred {
+					pb = cfg.BlockOf(put.call.Pos())
+				}
+				if eb == nil || pb == nil ||
+					cfg.ReachableFrom(eb, pb) || cfg.ReachableFrom(pb, eb) {
+					pass.Reportf(e.pos,
+						"value aliasing the pooled object from %s %s, and %s releases it back to the pool (%s) — the alias outlives the Put and the next Get will hand out memory the escapee still references; copy into a fresh buffer instead",
+						exprString(root), e.desc, analysis.FuncDisplay(n.Func), putDesc(put))
+					break
+				}
+			}
+		}
+	}
+}
+
+func putDesc(p poolPut) string {
+	s := exprString(p.call.Fun)
+	if p.deferred {
+		return "deferred " + s
+	}
+	return s
+}

@@ -1,0 +1,22 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"crowdplanner/internal/analysis/analysistest"
+	"crowdplanner/internal/analysis/analyzers"
+)
+
+// TestPoolescape checks every escape kind (return, package store, channel
+// send, go closure, escaping callee, stored closure, direct object escape)
+// against a cross-package acquire/release/fill wrapper set resolved purely
+// through call-graph summaries, plus the sanctioned negative shapes: fresh
+// copies, element-copying appends, internal workspace stores, ownership
+// transfer, and an explicit suppression.
+func TestPoolescape(t *testing.T) {
+	analysistest.RunModule(t, analyzers.Poolescape,
+		"../testdata/mod/poolescape", map[string]string{
+			"crowdplanner/internal/routing/wspool":  "wspool",
+			"crowdplanner/internal/routing/pooluse": "pooluse",
+		})
+}

@@ -21,8 +21,9 @@ var Annotations = &analysis.Analyzer{
 // All returns the full analyzer catalogue in stable (alphabetical) order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
-		Annotations, Ctxflow, Detorder, Goroleak, Hotalloc,
-		Lockappend, Lockorder, Sentinel, Wallclock,
+		Annotations, Ctxflow, Detorder,
+		Floatdet, Goroleak, Hotalloc,
+		Lockappend, Lockorder, Mutguard, Poolescape, Sentinel, Wallclock,
 	}
 }
 

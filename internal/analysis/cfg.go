@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow layer of the dataflow tier: a CFG constructor
+// over go/ast function bodies, covering every Go control-flow construct —
+// if/else, all three for forms, range, switch and type switch (including
+// fallthrough), select, labeled break and continue, goto, defer, and the
+// panic/return edges into a single synthetic exit block. Dataflow analyses
+// (dataflow.go) and the poolescape/mutguard/floatdet analyzers run over it.
+//
+// The model is deliberately simple: basic blocks hold AST nodes (statements
+// and the control expressions that execute with them) in execution order, and
+// edges are may-follow successors. Deferred calls are recorded separately in
+// registration order — they execute at the exit block in reverse — and a
+// statement that cannot complete normally (return, panic, break, goto)
+// terminates its block with the appropriate edge. Blocks left without
+// predecessors by a terminator (dead code after return) still build, so
+// analyses see every node; reachability queries skip them naturally.
+
+// CFGBlock is one basic block: a maximal sequence of nodes that execute
+// together, plus the blocks control may transfer to next.
+type CFGBlock struct {
+	Index int
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Composite statements contribute only the parts that
+	// execute with this block (an if contributes its Init and Cond; the
+	// branches are their own blocks). A RangeStmt appears as itself in its
+	// loop-head block, where its per-iteration variables are defined.
+	Nodes []ast.Node
+	Succs []*CFGBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Body *ast.BlockStmt
+	// Blocks lists every block; Blocks[0] is the entry block. Exit is the
+	// single synthetic exit: returns, panics, and normal fall-off-the-end
+	// all edge into it.
+	Blocks []*CFGBlock
+	Exit   *CFGBlock
+	// Defers holds the defer statements in registration order; they run at
+	// Exit in reverse. A deferred call therefore executes on every path
+	// that passes its registration point, after the rest of the function.
+	Defers []*ast.DeferStmt
+}
+
+// Entry returns the function-entry block.
+func (c *CFG) Entry() *CFGBlock { return c.Blocks[0] }
+
+// NewCFG builds the control-flow graph of a function body. It never returns
+// nil for a non-nil body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{Body: body}
+	b := &cfgBuilder{cfg: c, labels: make(map[string]*labelInfo)}
+	b.cur = b.newBlock() // entry, Blocks[0]
+	c.Exit = b.newBlock()
+	b.stmtList(body.List)
+	b.edge(b.cur, c.Exit)
+	return c
+}
+
+// ReachableFrom reports whether dst is reachable from src following successor
+// edges (reflexively: a block reaches itself).
+func (c *CFG) ReachableFrom(src, dst *CFGBlock) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, len(c.Blocks))
+	stack := []*CFGBlock{src}
+	seen[src.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == dst {
+				return true
+			}
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// BlockOf returns the block whose node list contains a node spanning pos, or
+// nil. Positions inside a node (sub-expressions) resolve to the node's block;
+// when several nodes span pos the smallest wins, so a statement inside a
+// range body resolves to its own block, not to the RangeStmt head whose span
+// covers the whole loop.
+func (c *CFG) BlockOf(pos token.Pos) *CFGBlock {
+	var best *CFGBlock
+	var bestSpan token.Pos = -1
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				span := n.End() - n.Pos()
+				if bestSpan < 0 || span < bestSpan {
+					best, bestSpan = b, span
+				}
+			}
+		}
+	}
+	return best
+}
+
+// labelInfo tracks one label's targets: the block its statement starts in
+// (goto target), and — when the labeled statement is a loop, switch, or
+// select — where labeled break and continue transfer to.
+type labelInfo struct {
+	start   *CFGBlock // goto target; created on first reference
+	breakTo *CFGBlock
+	contTo  *CFGBlock
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *CFGBlock
+
+	// breakTo/contTo/fallTo are the innermost unlabeled targets, stacked by
+	// the composite-statement builders.
+	breakStack []*CFGBlock
+	contStack  []*CFGBlock
+	fallStack  []*CFGBlock
+
+	labels map[string]*labelInfo
+	// pendingLabel is set while building the statement a label names, so the
+	// loop/switch builders can register their labeled targets.
+	pendingLabel *labelInfo
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// terminate ends the current block (its edges are already set) and starts a
+// fresh one for whatever follows; if nothing follows, the fresh block stays
+// empty and unreachable.
+func (b *cfgBuilder) terminate() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) labelFor(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{start: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a loop/switch/select statement,
+// registering its break (and optionally continue) targets.
+func (b *cfgBuilder) takeLabel(breakTo, contTo *CFGBlock) {
+	if b.pendingLabel == nil {
+		return
+	}
+	b.pendingLabel.breakTo = breakTo
+	b.pendingLabel.contTo = contTo
+	b.pendingLabel = nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.pendingLabel = nil
+		b.stmtList(x.List)
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		li := b.labelFor(x.Label.Name)
+		b.edge(b.cur, li.start)
+		b.cur = li.start
+		b.pendingLabel = li
+		b.stmt(x.Stmt)
+		b.pendingLabel = nil
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branch(x)
+	case *ast.DeferStmt:
+		b.add(x)
+		b.cfg.Defers = append(b.cfg.Defers, x)
+	case *ast.ExprStmt:
+		b.add(x)
+		if isPanicExpr(x.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.terminate()
+		}
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x)
+	case *ast.RangeStmt:
+		b.rangeStmt(x)
+	case *ast.SwitchStmt:
+		b.switchStmt(x.Init, x.Tag, nil, x.Body, x)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(x.Init, nil, x.Assign, x.Body, x)
+	case *ast.SelectStmt:
+		b.selectStmt(x)
+	default:
+		// Assign, IncDec, Send, Go, Decl, and anything future: straight-line.
+		b.pendingLabel = nil
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(x *ast.BranchStmt) {
+	var target *CFGBlock
+	switch x.Tok {
+	case token.BREAK:
+		if x.Label != nil {
+			target = b.labelFor(x.Label.Name).breakTo
+		} else if n := len(b.breakStack); n > 0 {
+			target = b.breakStack[n-1]
+		}
+	case token.CONTINUE:
+		if x.Label != nil {
+			target = b.labelFor(x.Label.Name).contTo
+		} else if n := len(b.contStack); n > 0 {
+			target = b.contStack[n-1]
+		}
+	case token.GOTO:
+		target = b.labelFor(x.Label.Name).start
+	case token.FALLTHROUGH:
+		if n := len(b.fallStack); n > 0 {
+			target = b.fallStack[n-1]
+		}
+	}
+	b.add(x)
+	if target != nil {
+		b.edge(b.cur, target)
+	}
+	// A branch with no resolvable target (malformed source) just terminates.
+	b.terminate()
+}
+
+func (b *cfgBuilder) ifStmt(x *ast.IfStmt) {
+	b.pendingLabel = nil
+	if x.Init != nil {
+		b.add(x.Init)
+	}
+	b.add(x.Cond)
+	cond := b.cur
+	follow := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(x.Body)
+	b.edge(b.cur, follow)
+
+	if x.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(x.Else)
+		b.edge(b.cur, follow)
+	} else {
+		b.edge(cond, follow)
+	}
+	b.cur = follow
+}
+
+func (b *cfgBuilder) forStmt(x *ast.ForStmt) {
+	if x.Init != nil {
+		b.add(x.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	if x.Cond != nil {
+		head.Nodes = append(head.Nodes, x.Cond)
+	}
+	body := b.newBlock()
+	follow := b.newBlock()
+	b.edge(head, body)
+	if x.Cond != nil {
+		b.edge(head, follow) // for {} without cond exits only via break
+	}
+	contTo := head
+	if x.Post != nil {
+		post := b.newBlock()
+		post.Nodes = append(post.Nodes, x.Post)
+		b.edge(post, head)
+		contTo = post
+	}
+	b.takeLabel(follow, contTo)
+	b.breakStack = append(b.breakStack, follow)
+	b.contStack = append(b.contStack, contTo)
+	b.cur = body
+	b.stmt(x.Body)
+	b.edge(b.cur, contTo)
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+	b.cur = follow
+}
+
+func (b *cfgBuilder) rangeStmt(x *ast.RangeStmt) {
+	head := b.newBlock()
+	head.Nodes = append(head.Nodes, x) // the range stmt itself: defines Key/Value per iteration
+	b.edge(b.cur, head)
+	body := b.newBlock()
+	follow := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, follow)
+	b.takeLabel(follow, head)
+	b.breakStack = append(b.breakStack, follow)
+	b.contStack = append(b.contStack, head)
+	b.cur = body
+	b.stmt(x.Body)
+	b.edge(b.cur, head)
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+	b.cur = follow
+}
+
+// switchStmt builds expression and type switches: tag/assign evaluate in the
+// head block, each clause is its own block, fallthrough chains clause bodies,
+// and a missing default edges the head straight to the follow block.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, _ ast.Stmt) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	follow := b.newBlock()
+	b.takeLabel(follow, nil)
+	b.breakStack = append(b.breakStack, follow)
+
+	var clauseBlocks []*CFGBlock
+	var clauses []ast.Stmt
+	if body != nil {
+		clauses = body.List
+	}
+	for range clauses {
+		clauseBlocks = append(clauseBlocks, b.newBlock())
+	}
+	hasDefault := false
+	for i, cs := range clauses {
+		blk := clauseBlocks[i]
+		b.edge(head, blk)
+		var caseBody []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			caseBody = cc.Body
+		}
+		// fallthrough target: the next clause's block (checked by the parser
+		// to exist and not be in the last clause).
+		if i+1 < len(clauseBlocks) {
+			b.fallStack = append(b.fallStack, clauseBlocks[i+1])
+		} else {
+			b.fallStack = append(b.fallStack, nil)
+		}
+		b.cur = blk
+		b.stmtList(caseBody)
+		b.edge(b.cur, follow)
+		b.fallStack = b.fallStack[:len(b.fallStack)-1]
+	}
+	if !hasDefault {
+		b.edge(head, follow)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = follow
+}
+
+func (b *cfgBuilder) selectStmt(x *ast.SelectStmt) {
+	head := b.cur
+	follow := b.newBlock()
+	b.takeLabel(follow, nil)
+	b.breakStack = append(b.breakStack, follow)
+	for _, cs := range x.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, follow)
+	}
+	// select{} (no clauses) blocks forever: head keeps no successor, so
+	// nothing after it is reachable — exactly the runtime behavior.
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = follow
+}
+
+// isPanicExpr reports whether e is a direct call to the panic builtin. The
+// builder gives such statements a panic-return edge to Exit: deferred calls
+// still run, nothing after does.
+func isPanicExpr(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

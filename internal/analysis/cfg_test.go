@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody wraps a function body in a file, parses it, and builds its CFG.
+// Block lookup in the tests is by source substring: markAt maps the first
+// occurrence of a marker to a token.Pos, BlockOf resolves it to a block.
+func parseBody(t *testing.T, body string) (*CFG, func(marker string) *CFGBlock) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	cfg := NewCFG(fd.Body)
+	tf := fset.File(file.Pos())
+	markAt := func(marker string) *CFGBlock {
+		t.Helper()
+		off := strings.Index(src, marker)
+		if off < 0 {
+			t.Fatalf("marker %q not in source", marker)
+		}
+		b := cfg.BlockOf(tf.Pos(off))
+		if b == nil {
+			t.Fatalf("marker %q (offset %d) resolves to no block", marker, off)
+		}
+		return b
+	}
+	return cfg, markAt
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg, at := parseBody(t, "x := 1\ny := x\n_ = y")
+	entry := cfg.Entry()
+	if at("x := 1") != entry || at("y := x") != entry || at("_ = y") != entry {
+		t.Fatalf("straight-line statements split across blocks")
+	}
+	if !cfg.ReachableFrom(entry, cfg.Exit) {
+		t.Fatalf("entry does not reach exit")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg, at := parseBody(t, `x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+x = 4`)
+	cond, then, els, follow := at("x > 0"), at("x = 2"), at("x = 3"), at("x = 4")
+	if then == els {
+		t.Fatalf("then and else share a block")
+	}
+	for _, dst := range []*CFGBlock{then, els, follow} {
+		if !cfg.ReachableFrom(cond, dst) {
+			t.Fatalf("cond does not reach block %d", dst.Index)
+		}
+	}
+	if !cfg.ReachableFrom(then, follow) || !cfg.ReachableFrom(els, follow) {
+		t.Fatalf("branches do not rejoin at follow")
+	}
+	if cfg.ReachableFrom(then, els) || cfg.ReachableFrom(els, then) {
+		t.Fatalf("branches reach each other")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	_, at := parseBody(t, `x := 1
+if x > 0 {
+	x = 2
+}
+x = 4`)
+	cond, follow := at("x > 0"), at("x = 4")
+	// The false edge: follow must be a direct successor of the cond block.
+	direct := false
+	for _, s := range cond.Succs {
+		if s == follow {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("if without else lacks direct cond→follow edge")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg, at := parseBody(t, `sum := 0
+for i := 0; i < 10; i++ {
+	sum += i
+}
+_ = sum`)
+	head, body, post, follow := at("i < 10"), at("sum += i"), at("i++"), at("_ = sum")
+	if !cfg.ReachableFrom(body, post) || !cfg.ReachableFrom(post, head) {
+		t.Fatalf("loop back edge body→post→head missing")
+	}
+	if !cfg.ReachableFrom(head, follow) {
+		t.Fatalf("conditional loop head does not reach follow")
+	}
+	if !cfg.ReachableFrom(body, body) {
+		t.Fatalf("loop body not reachable from itself via back edge")
+	}
+}
+
+func TestCFGForeverLoopBlocksFollow(t *testing.T) {
+	cfg, at := parseBody(t, `x := 0
+for {
+	x++
+}
+x = 9`)
+	body, follow := at("x++"), at("x = 9")
+	if cfg.ReachableFrom(cfg.Entry(), follow) {
+		t.Fatalf("code after `for {}` must be unreachable from entry")
+	}
+	if cfg.ReachableFrom(cfg.Entry(), cfg.Exit) {
+		t.Fatalf("function with only `for {}` must not reach exit")
+	}
+	if !cfg.ReachableFrom(body, body) {
+		t.Fatalf("forever loop body lost its back edge")
+	}
+}
+
+func TestCFGForeverLoopWithBreak(t *testing.T) {
+	cfg, at := parseBody(t, `x := 0
+for {
+	if x > 3 {
+		break
+	}
+	x++
+}
+x = 9`)
+	if !cfg.ReachableFrom(cfg.Entry(), at("x = 9")) {
+		t.Fatalf("break does not make follow reachable")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	cfg, at := parseBody(t, `m := map[int]int{}
+total := 0
+for k, v := range m {
+	total += k + v
+}
+_ = total`)
+	head, body, follow := at("range m"), at("total += k"), at("_ = total")
+	if !cfg.ReachableFrom(head, body) || !cfg.ReachableFrom(body, head) {
+		t.Fatalf("range head/body edges missing")
+	}
+	if !cfg.ReachableFrom(head, follow) {
+		t.Fatalf("range head does not reach follow (empty container path)")
+	}
+	if body == head {
+		t.Fatalf("range body merged into head block")
+	}
+	// The body statement must resolve to the body block even though the
+	// RangeStmt node in the head spans the whole loop.
+	if at("total += k + v") != body {
+		t.Fatalf("BlockOf resolved a body position to the wrong block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg, at := parseBody(t, `x := 1
+switch x {
+case 1:
+	x = 10
+	fallthrough
+case 2:
+	x = 20
+default:
+	x = 30
+}
+x = 99`)
+	c1, c2, def, follow := at("x = 10"), at("x = 20"), at("x = 30"), at("x = 99")
+	if !cfg.ReachableFrom(c1, c2) {
+		t.Fatalf("fallthrough edge from case 1 to case 2 missing")
+	}
+	if cfg.ReachableFrom(c2, def) {
+		t.Fatalf("case 2 must not reach default (no fallthrough there)")
+	}
+	for _, c := range []*CFGBlock{c1, c2, def} {
+		if !cfg.ReachableFrom(c, follow) {
+			t.Fatalf("clause block %d does not reach follow", c.Index)
+		}
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	cfg, at := parseBody(t, `x := 1
+switch x {
+case 1:
+	x = 10
+}
+x = 99`)
+	head, follow := at("x {"), at("x = 99") // "x {" marks the tag expression
+
+	direct := false
+	for _, s := range head.Succs {
+		if s == follow {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("switch without default lacks head→follow edge")
+	}
+	_ = cfg
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	cfg, at := parseBody(t, `var v any = 1
+switch y := v.(type) {
+case int:
+	_ = y
+	v = "int"
+case string:
+	v = "string"
+}
+v = nil`)
+	ci, cs, follow := at(`v = "int"`), at(`v = "string"`), at("v = nil")
+	if !cfg.ReachableFrom(ci, follow) || !cfg.ReachableFrom(cs, follow) {
+		t.Fatalf("type-switch clauses do not reach follow")
+	}
+	if cfg.ReachableFrom(ci, cs) {
+		t.Fatalf("type-switch clauses reach each other")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg, at := parseBody(t, `a := make(chan int)
+b := make(chan int)
+select {
+case v := <-a:
+	_ = v
+case b <- 1:
+	_ = a
+default:
+	_ = b
+}
+a = nil`)
+	recv, send, def, follow := at("v := <-a"), at("b <- 1"), at("_ = b"), at("a = nil")
+	for _, c := range []*CFGBlock{recv, send, def} {
+		if !cfg.ReachableFrom(cfg.Entry(), c) || !cfg.ReachableFrom(c, follow) {
+			t.Fatalf("select clause block %d not wired head→clause→follow", c.Index)
+		}
+	}
+	if recv == send || send == def {
+		t.Fatalf("select clauses merged")
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	cfg, at := parseBody(t, `x := 0
+_ = x
+select {}
+x = 1`)
+	if cfg.ReachableFrom(cfg.Entry(), at("x = 1")) {
+		t.Fatalf("code after select{} must be unreachable")
+	}
+	if cfg.ReachableFrom(cfg.Entry(), cfg.Exit) {
+		t.Fatalf("select{} must not fall through to exit")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg, at := parseBody(t, `x := 0
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if i == j {
+			break outer
+		}
+		x++
+	}
+}
+x = 7`)
+	brk, follow, innerBody := at("break outer"), at("x = 7"), at("x++")
+	direct := false
+	for _, s := range brk.Succs {
+		if s == follow {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("labeled break does not edge directly to the outer follow")
+	}
+	if cfg.ReachableFrom(brk, innerBody) {
+		t.Fatalf("labeled break must terminate its block")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	cfg, at := parseBody(t, `x := 0
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if i == j {
+			continue outer
+		}
+		x++
+	}
+}
+x = 7`)
+	cont, outerPost, innerBody := at("continue outer"), at("i++"), at("x++")
+	direct := false
+	for _, s := range cont.Succs {
+		if s == outerPost {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("labeled continue does not edge to the outer loop's post block")
+	}
+	if cfg.ReachableFrom(cont, innerBody) {
+		// continue outer skips the rest of the inner body... but the outer
+		// loop re-enters it, so reachability holds transitively — the direct
+		// successor check above is the real assertion. Nothing to verify here.
+		_ = innerBody
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfg, at := parseBody(t, `x := 0
+loop:
+x++
+if x < 3 {
+	goto loop
+}
+goto done
+x = 99
+done:
+_ = x`)
+	gotoStmt, target, dead, done := at("goto loop"), at("x++"), at("x = 99"), at("_ = x")
+	direct := false
+	for _, s := range gotoStmt.Succs {
+		if s == target {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("backward goto does not edge to its label block")
+	}
+	if cfg.ReachableFrom(cfg.Entry(), dead) {
+		t.Fatalf("statement after unconditional goto must be unreachable")
+	}
+	if !cfg.ReachableFrom(cfg.Entry(), done) {
+		t.Fatalf("forward goto target must be reachable")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	cfg, at := parseBody(t, `x := 1
+if x > 0 {
+	return
+}
+x = 2`)
+	ret := at("return")
+	if cfg.ReachableFrom(ret, at("x = 2")) {
+		t.Fatalf("return block reaches following code")
+	}
+	direct := false
+	for _, s := range ret.Succs {
+		if s == cfg.Exit {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("return lacks direct edge to exit")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	cfg, at := parseBody(t, `x := 1
+if x > 0 {
+	panic("boom")
+}
+x = 2`)
+	pan := at(`panic("boom")`)
+	if cfg.ReachableFrom(pan, at("x = 2")) {
+		t.Fatalf("panic block reaches following code")
+	}
+	direct := false
+	for _, s := range pan.Succs {
+		if s == cfg.Exit {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("panic lacks direct edge to exit")
+	}
+}
+
+func TestCFGDeferRegistrationOrder(t *testing.T) {
+	cfg, _ := parseBody(t, `defer println("first")
+x := 1
+if x > 0 {
+	defer println("second")
+}
+defer println("third")`)
+	if len(cfg.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(cfg.Defers))
+	}
+	wantOrder := []string{`"first"`, `"second"`, `"third"`}
+	for i, d := range cfg.Defers {
+		call := d.Call
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Value != wantOrder[i] {
+			t.Fatalf("Defers[%d] = %v, want arg %s (registration order)", i, call.Args[0], wantOrder[i])
+		}
+	}
+}
+
+func TestCFGBlockIndexesConsistent(t *testing.T) {
+	cfg, _ := parseBody(t, `for i := 0; i < 4; i++ {
+	switch i {
+	case 0:
+		continue
+	case 1:
+		break
+	default:
+		return
+	}
+}`)
+	for i, b := range cfg.Blocks {
+		if b.Index != i {
+			t.Fatalf("Blocks[%d].Index = %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			if cfg.Blocks[s.Index] != s {
+				t.Fatalf("successor of block %d has stale index", i)
+			}
+		}
+	}
+	if cfg.Entry() != cfg.Blocks[0] {
+		t.Fatalf("entry is not Blocks[0]")
+	}
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseTyped parses and type-checks a whole file (no imports allowed — the
+// tests stay importer-free) and returns the named function's CFG plus lookup
+// helpers keyed by source substrings.
+func parseTyped(t *testing.T, src, fn string) (*CFG, *types.Info, func(marker string) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "df_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	tf := fset.File(file.Pos())
+	posOf := func(marker string) token.Pos {
+		t.Helper()
+		off := strings.Index(src, marker)
+		if off < 0 {
+			t.Fatalf("marker %q not in source", marker)
+		}
+		return tf.Pos(off)
+	}
+	return NewCFG(body), info, posOf
+}
+
+// identAt finds the Ident starting exactly at pos.
+func identAt(t *testing.T, cfg *CFG, pos token.Pos) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	ast.Inspect(cfg.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Pos() == pos {
+			found = id
+		}
+		return found == nil
+	})
+	if found == nil {
+		t.Fatalf("no identifier at pos %v", pos)
+	}
+	return found
+}
+
+func TestDefUseShadowingInBlock(t *testing.T) {
+	src := `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`
+	cfg, info, posOf := parseTyped(t, src, "f")
+	du := cfg.DefUse(info)
+	use := identAt(t, cfg, posOf("x\n}"))
+	defs := du.DefsFor(use)
+	if len(defs) != 1 {
+		t.Fatalf("got %d reaching defs, want 1 (later def shadows)", len(defs))
+	}
+	if as, ok := defs[0].Node.(*ast.AssignStmt); !ok || as.Tok != token.ASSIGN {
+		t.Fatalf("reaching def is %T, want the plain assignment", defs[0].Node)
+	}
+}
+
+func TestDefUseBranchJoin(t *testing.T) {
+	src := `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`
+	cfg, info, posOf := parseTyped(t, src, "f")
+	du := cfg.DefUse(info)
+	use := identAt(t, cfg, posOf("x\n}"))
+	defs := du.DefsFor(use)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs at join, want 2", len(defs))
+	}
+}
+
+func TestDefUseRangeDef(t *testing.T) {
+	src := `package p
+func f(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}`
+	cfg, info, posOf := parseTyped(t, src, "f")
+	du := cfg.DefUse(info)
+	use := identAt(t, cfg, posOf("v\n"))
+	defs := du.DefsFor(use)
+	if len(defs) != 1 {
+		t.Fatalf("got %d defs for range value var, want 1", len(defs))
+	}
+	if _, ok := defs[0].Node.(*ast.RangeStmt); !ok {
+		t.Fatalf("range var def node is %T, want *ast.RangeStmt", defs[0].Node)
+	}
+	if len(defs[0].Rhs) != 1 {
+		t.Fatalf("range def should carry the ranged container as Rhs")
+	}
+}
+
+func TestTaintedThroughLocals(t *testing.T) {
+	src := `package p
+func f(m map[int]float64) (float64, float64) {
+	var a, b float64
+	for _, v := range m {
+		w := v * 2
+		a += w
+		b += 1.0
+	}
+	return a, b
+}`
+	cfg, info, posOf := parseTyped(t, src, "f")
+	du := cfg.DefUse(info)
+	fromRange := func(d *Def) bool {
+		_, ok := d.Node.(*ast.RangeStmt)
+		return ok
+	}
+	// a += w: w derives from the range value v — tainted.
+	aUse := identAt(t, cfg, posOf("w\n"))
+	if !du.Tainted(aUse, nil, fromRange) {
+		t.Fatalf("accumulation of range-derived value not reported tainted")
+	}
+	// b += 1.0: a constant — order-independent, must not be tainted.
+	bRhs := identAt(t, cfg, posOf("b += 1.0"))
+	_ = bRhs
+	lit := findBasicLit(cfg.Body, "1.0")
+	if lit == nil {
+		t.Fatalf("literal not found")
+	}
+	if du.Tainted(lit, nil, fromRange) {
+		t.Fatalf("constant accumulation reported tainted")
+	}
+}
+
+func findBasicLit(root ast.Node, val string) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(root, func(n ast.Node) bool {
+		if bl, ok := n.(*ast.BasicLit); ok && bl.Value == val {
+			found = bl
+		}
+		return found == nil
+	})
+	return found
+}
+
+func TestAliasLatticeDerivation(t *testing.T) {
+	src := `package p
+type ws struct {
+	path []int
+	dist []float64
+}
+func get() *ws { return &ws{} }
+func f() []int {
+	w := get()
+	p := w.path
+	q := p[1:]
+	fresh := make([]int, len(q))
+	copy(fresh, q)
+	d := w.dist[0]
+	_ = d
+	return fresh
+}`
+	cfg, info, posOf := parseTyped(t, src, "f")
+	al := &AliasLattice{
+		Info: info,
+		IsRoot: func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "get"
+		},
+	}
+	al.Compute(cfg)
+
+	varAt := func(marker string) *types.Var {
+		id := identAt(t, cfg, posOf(marker))
+		return identVar(info, id)
+	}
+	if !al.Vars()[varAt("w := get()")] {
+		t.Fatalf("root-assigned variable not in alias set")
+	}
+	if !al.Vars()[varAt("p := w.path")] {
+		t.Fatalf("field-derived slice not in alias set")
+	}
+	if !al.Vars()[varAt("q := p[1:]")] {
+		t.Fatalf("re-sliced alias not in alias set")
+	}
+	if al.Vars()[varAt("fresh := make")] {
+		t.Fatalf("freshly made+copied slice wrongly in alias set")
+	}
+	if al.Vars()[varAt("d := w.dist[0]")] {
+		t.Fatalf("scalar loaded from aliased slab wrongly in alias set")
+	}
+	// Expression-level checks.
+	retExpr := identAt(t, cfg, posOf("fresh\n}"))
+	if al.Aliases(retExpr) {
+		t.Fatalf("returning the fresh copy must not count as aliasing")
+	}
+}
+
+func TestAliasLatticeStoreIntoLocal(t *testing.T) {
+	src := `package p
+type box struct{ s []int }
+func get() []int { return nil }
+func f() *box {
+	b := &box{}
+	b.s = get()
+	return b
+}`
+	cfg, info, posOf := parseTyped(t, src, "f")
+	al := &AliasLattice{
+		Info: info,
+		IsRoot: func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "get"
+		},
+	}
+	al.Compute(cfg)
+	b := identVar(info, identAt(t, cfg, posOf("b := &box{}")))
+	if !al.Vars()[b] {
+		t.Fatalf("local holding a stored alias (b.s = root) not in alias set")
+	}
+}

@@ -78,6 +78,11 @@ func parseAnnotations(pkg *Package, known []string) (sups []suppression, malform
 					// as an allocation-free hot path (see the hotalloc
 					// analyzer, which also validates placement).
 					continue
+				case strings.HasPrefix(directive, "cplint:guardedby") && reason == "" && !hasReason:
+					// Not a suppression: declares the mutex guarding a struct
+					// field (see the mutguard analyzer, which validates the
+					// spelling, placement, and mutex resolution).
+					continue
 				case directive == "cplint:ordered-irrelevant":
 					names = []string{"detorder"}
 				case strings.HasPrefix(directive, "cplint:ignore "):

@@ -1,0 +1,131 @@
+// Package floatfix exercises floatdet under a deterministic import path:
+// float folds fed by map ranges and channel receives, goroutine-merged
+// accumulators, and every sanctioned counter-shape (sorted keys, integer
+// accumulation, indexed partials).
+package floatfix
+
+import (
+	"math"
+	"sort"
+)
+
+// SumDirect folds float values straight out of a map range.
+func SumDirect(m map[string]float64) float64 {
+	var sum float64
+	//cplint:ordered-irrelevant -- fixture: detorder's concern, not floatdet's; the float rounding is the finding here
+	for _, v := range m {
+		sum += v // want "fed by range-over-map values"
+	}
+	return sum
+}
+
+// SumCollected launders the values through a collected slice first — the
+// taint survives the intermediate local.
+func SumCollected(m map[string]float64) float64 {
+	var vals []float64
+	//cplint:ordered-irrelevant -- fixture: collection order is the point under test
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v // want "fed by range-over-map values"
+	}
+	return sum
+}
+
+// MaxFold folds through math.Max inside the range.
+func MaxFold(m map[string]float64) float64 {
+	best := math.Inf(-1)
+	//cplint:ordered-irrelevant -- fixture: the min/max fold is the finding under test
+	for _, v := range m {
+		best = math.Max(best, v) // want "min/max fold"
+	}
+	return best
+}
+
+// MinBuiltin folds through the builtin min.
+func MinBuiltin(m map[string]float64) float64 {
+	low := math.Inf(1)
+	//cplint:ordered-irrelevant -- fixture: the min/max fold is the finding under test
+	for _, v := range m {
+		low = min(low, v) // want "min/max fold"
+	}
+	return low
+}
+
+// SumSorted is the sanctioned idiom: keys out, sort, fold in pinned order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//cplint:ordered-irrelevant -- keys are sorted before any order-sensitive use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// CountInts accumulates integers — associative, so map order cannot leak.
+func CountInts(m map[string]int) int {
+	total := 0
+	//cplint:ordered-irrelevant -- integer addition is associative; order cannot reach the caller
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumChannel merges partial results in receive order.
+func SumChannel(ch chan float64) float64 {
+	var total float64
+	for v := range ch {
+		total += v // want "fed by channel receives"
+	}
+	return total
+}
+
+// MergeShared updates a captured accumulator from goroutines.
+func MergeShared(chunks [][]float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	for _, c := range chunks {
+		c := c
+		go func() {
+			for _, v := range c {
+				total += v // want "merged from a go statement"
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range chunks {
+		<-done
+	}
+	return total
+}
+
+// MergeIndexed gives each goroutine its own slot — deterministic merge.
+func MergeIndexed(chunks [][]float64) float64 {
+	partial := make([]float64, len(chunks))
+	done := make(chan struct{})
+	for i, c := range chunks {
+		i, c := i, c
+		go func() {
+			for _, v := range c {
+				partial[i] += v
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range chunks {
+		<-done
+	}
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

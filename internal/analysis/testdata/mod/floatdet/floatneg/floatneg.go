@@ -1,0 +1,33 @@
+// Package floatneg holds the same order-sensitive float folds as floatfix,
+// type-checked under an experiments import path: outside the deterministic
+// replay set, run-to-run float jitter is acceptable and floatdet stays
+// silent.
+package floatneg
+
+// SumDirect would be a finding in a deterministic package.
+func SumDirect(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// MergeShared would be a finding in a deterministic package.
+func MergeShared(chunks [][]float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	for _, c := range chunks {
+		c := c
+		go func() {
+			for _, v := range c {
+				total += v
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range chunks {
+		<-done
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+// Package pooluse exercises poolescape: every escape kind on a path reaching
+// the Put (positive cases), and the sanctioned shapes — fresh copies,
+// element-copying appends, ownership transfer — that must stay silent.
+package pooluse
+
+import "crowdplanner/internal/routing/wspool"
+
+var keep []int
+
+var results = make(chan []int, 1)
+
+var hook func() int
+
+// Good copies the workspace-backed result before releasing: the sanctioned
+// shape.
+func Good(n int) []int {
+	s := wspool.Acquire()
+	path := wspool.Fill(s, n)
+	out := make([]int, len(path))
+	copy(out, path)
+	wspool.Release(s)
+	return out
+}
+
+// GoodDefer is the same shape with a deferred release.
+func GoodDefer(n int) []int {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	path := wspool.Fill(s, n)
+	out := make([]int, len(path))
+	copy(out, path)
+	return out
+}
+
+// GoodElems appends the workspace values into a caller slice: value elements
+// are copied, so no alias survives the release.
+func GoodElems(dst []int, n int) []int {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	dst = append(dst, wspool.Fill(s, n)...)
+	return dst
+}
+
+// GoodTransfer acquires without releasing: ownership moves to the caller,
+// which owns the pairing with Release.
+func GoodTransfer() *wspool.Space {
+	return wspool.Acquire()
+}
+
+// GoodInternal stores an alias into the pooled object itself — designed
+// workspace bookkeeping, not an escape.
+func GoodInternal(n int) {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	s.Buf = wspool.Fill(s, n)
+}
+
+// BadReturn hands workspace-backed memory to the caller while the deferred
+// Release recycles it.
+func BadReturn(n int) []int {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	return wspool.Fill(s, n) // want "is returned to the caller"
+}
+
+// BadStore parks an alias in package state before releasing.
+func BadStore(n int) {
+	s := wspool.Acquire()
+	keep = wspool.Fill(s, n) // want "is stored to package variable keep"
+	wspool.Release(s)
+}
+
+// BadSend ships the alias across a channel; the receiver reads recycled
+// memory.
+func BadSend(n int) {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	results <- wspool.Fill(s, n) // want "is sent on a channel"
+}
+
+// BadGo races a goroutine against the release.
+func BadGo(n int) {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	path := wspool.Fill(s, n)
+	go func() { // want "is captured by a go closure"
+		_ = path[0]
+	}()
+}
+
+// BadStash routes the alias through a helper that stores it in package
+// state.
+func BadStash(n int) {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	wspool.Stash(wspool.Fill(s, n)) // want "is passed to wspool.Stash"
+}
+
+// BadClosure stores a capturing closure past the release.
+func BadClosure(n int) {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	path := wspool.Fill(s, n)
+	hook = func() int { return path[0] } // want "is captured by a closure stored to package variable hook"
+}
+
+// BadDirect escapes the pooled object itself, not a derived slice.
+func BadDirect() {
+	s := wspool.Acquire()
+	keep = s.Buf // want "is stored to package variable keep"
+	wspool.Release(s)
+}
+
+// SuppressedReturn documents a sanctioned single-owner handoff.
+func SuppressedReturn(n int) []int {
+	s := wspool.Acquire()
+	defer wspool.Release(s)
+	//cplint:ignore poolescape -- fixture: exercises suppression of an acknowledged alias return
+	return wspool.Fill(s, n)
+}

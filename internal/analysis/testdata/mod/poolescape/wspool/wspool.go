@@ -1,0 +1,46 @@
+// Package wspool is the pooled-workspace half of the poolescape fixture: a
+// sync.Pool behind acquire/release wrappers, an alias-returning fill helper
+// (the searchShared shape), and an escaping sink — everything the analyzer
+// must resolve through call-graph summaries rather than annotations.
+package wspool
+
+import "sync"
+
+// Space is the pooled workspace: Buf and path are slab memory recycled with
+// the object.
+type Space struct {
+	Buf  []int
+	path []int
+}
+
+var pool sync.Pool
+
+// Acquire returns a pooled Space; ownership transfers to the caller (no Put
+// here), so callers pair it with Release.
+func Acquire() *Space {
+	if v := pool.Get(); v != nil {
+		return v.(*Space)
+	}
+	return &Space{Buf: make([]int, 64)}
+}
+
+// Release returns s to the pool.
+func Release(s *Space) { pool.Put(s) }
+
+// Fill computes into the workspace scratch and returns it: the result is
+// backed by s.path, valid until the next Fill on s. Callers that keep it
+// must copy.
+func Fill(s *Space, n int) []int {
+	s.path = s.path[:0]
+	for i := 0; i < n; i++ {
+		s.path = append(s.path, i)
+	}
+	return s.path
+}
+
+// sink is the package-level escape destination Stash writes to.
+var sink []int
+
+// Stash parks its argument in package state — passing a pooled alias here
+// escapes it.
+func Stash(xs []int) { sink = xs }

@@ -211,11 +211,15 @@ type System struct {
 	prepDist *routing.Preprocessed
 	prepTime *routing.Preprocessed
 
-	mu         sync.Mutex
-	mstar      *worker.Matrix // system's estimate (PMF-densified, accumulated)
-	mtrue      *worker.Matrix // workers' actual knowledge (no PMF inference)
+	mu sync.Mutex
+	//cplint:guardedby mu
+	mstar *worker.Matrix // system's estimate (PMF-densified, accumulated)
+	//cplint:guardedby mu
+	mtrue *worker.Matrix // workers' actual knowledge (no PMF inference)
+	//cplint:guardedby mu
 	nextTaskID int64
-	pending    map[int64]*PendingTask // async crowd tasks awaiting answers
+	//cplint:guardedby mu
+	pending map[int64]*PendingTask // async crowd tasks awaiting answers
 
 	poolMu   sync.RWMutex        // guards Outstanding/Reward/History on pool workers
 	reliance *reliabilityTracker // per-source precision (future work §VI)

@@ -261,7 +261,11 @@ func newMetricSearch(n int) *metricSearch {
 
 // oneToAll fills dist with shortest-path distances from src under w (+Inf
 // for unreachable nodes), following Out edges normally and In edges when
-// reverse is set (distances *to* src).
+// reverse is set (distances *to* src). It is the preprocessing sweep kernel:
+// nl+1 forward runs plus nl reverse runs per build, each relaxing every edge,
+// so it carries the same allocation-freedom contract as the query kernels.
+//
+//cplint:hotpath
 func (ms *metricSearch) oneToAll(g *roadnet.Graph, w []float64, src roadnet.NodeID, dist []float64, reverse bool) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
@@ -307,7 +311,10 @@ func (ms *metricSearch) oneToAll(g *roadnet.Graph, w []float64, src roadnet.Node
 // metricPush / metricPop are the same 4-ary value heap as the query engine,
 // operating on a caller-owned slice (preprocessing runs outside the pooled
 // workspaces).
+//
+//cplint:hotpath
 func metricPush(h []heapEntry, e heapEntry) []heapEntry {
+	//cplint:ignore hotalloc -- sanctioned: the backing array is ms.heap, preallocated to 1024 and reused across every sweep of a build, so growth amortizes to zero steady-state allocations
 	h = append(h, e)
 	i := len(h) - 1
 	for i > 0 {
@@ -322,6 +329,7 @@ func metricPush(h []heapEntry, e heapEntry) []heapEntry {
 	return h
 }
 
+//cplint:hotpath
 func metricPop(h []heapEntry) (heapEntry, []heapEntry) {
 	top := h[0]
 	last := h[len(h)-1]

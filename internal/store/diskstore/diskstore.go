@@ -79,10 +79,13 @@ type Store struct {
 	dir  string
 	sync bool
 
-	mu     sync.Mutex
-	wal    *os.File
+	mu sync.Mutex
+	//cplint:guardedby mu
+	wal *os.File
+	//cplint:guardedby mu
 	closed bool
-	stats  store.Stats
+	//cplint:guardedby mu
+	stats store.Stats
 }
 
 // Option configures a Store.

@@ -17,19 +17,28 @@ import (
 
 // Store is an in-memory store.Store. It is safe for concurrent use.
 type Store struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	//cplint:guardedby mu
 	closed bool
 
+	//cplint:guardedby mu
 	snap *store.State // last snapshot (owned), nil before the first
 
 	// The in-memory "WAL": everything appended since the last snapshot.
-	truths    []store.TruthRecord
-	events    []store.WorkerEvent
-	trips     []store.TrajRecord
-	taskOpen  []store.TaskRecord
+	//cplint:guardedby mu
+	truths []store.TruthRecord
+	//cplint:guardedby mu
+	events []store.WorkerEvent
+	//cplint:guardedby mu
+	trips []store.TrajRecord
+	//cplint:guardedby mu
+	taskOpen []store.TaskRecord
+	//cplint:guardedby mu
 	taskDecis []taskDecision
+	//cplint:guardedby mu
 	taskClose []int64
 
+	//cplint:guardedby mu
 	stats store.Stats
 }
 

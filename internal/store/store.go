@@ -276,7 +276,8 @@ func Discard() Store {
 }
 
 type discard struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//cplint:guardedby mu
 	stats Stats
 }
 

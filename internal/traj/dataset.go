@@ -38,10 +38,13 @@ type Dataset struct {
 	// NumODs*TripsPerOD.
 	ODShortfall int
 
-	mu     sync.RWMutex
-	idx    *miningIndex
+	mu sync.RWMutex
+	//cplint:guardedby mu
+	idx *miningIndex
+	//cplint:guardedby mu
 	sealed bool
-	base   int // trips[:base] = generated world; trips[base:] = ingested
+	//cplint:guardedby mu
+	base int // trips[:base] = generated world; trips[base:] = ingested
 	// Ingestion-stream bookkeeping: ingSeqs[i] is the durable sequence
 	// number of trips[base+i], and nextSeq the number the next ingested trip
 	// gets. Seqs are NOT derivable from slice position — a crash can lose
@@ -49,7 +52,9 @@ type Dataset struct {
 	// which replay leaves gaps that live ingestion must not re-fill, or a
 	// stale Seq would collide with a retained record and be dropped by the
 	// replay dedupe.
+	//cplint:guardedby mu
 	ingSeqs []int64
+	//cplint:guardedby mu
 	nextSeq int64
 }
 

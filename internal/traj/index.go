@@ -106,12 +106,18 @@ type cellKey struct{ src, dst cellCoord }
 // owning Dataset's mutex except the footmark graphs, which are
 // copy-on-write (see above).
 type miningIndex struct {
-	cell      float64           // endpoint bucket edge length, meters
+	cell float64 // endpoint bucket edge length, meters; immutable
+	//cplint:guardedby Dataset.mu
 	endpoints map[cellKey][]int // trip indices by endpoint-pair cell, ascending
 
-	global    *footmarkGraph                // every trip (MPR's transfer network)
-	slotTrips [footmarkSlots][]int          // trip indices by depart-hour slot
-	slots     [footmarkSlots]*footmarkGraph // per-slot aggregates (MFP)
+	// The graph *pointers* are guarded like everything else; the graphs they
+	// point at are immutable snapshots, safe to keep using after release.
+	//cplint:guardedby Dataset.mu
+	global *footmarkGraph // every trip (MPR's transfer network)
+	//cplint:guardedby Dataset.mu
+	slotTrips [footmarkSlots][]int // trip indices by depart-hour slot
+	//cplint:guardedby Dataset.mu
+	slots [footmarkSlots]*footmarkGraph // per-slot aggregates (MFP)
 }
 
 // defaultIndexCellM sizes endpoint buckets to the LDR match radius, so a
