@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in       string
+		min, max time.Duration
+	}{
+		{"", 0, 0},
+		{"2", 2 * time.Second, 2 * time.Second},
+		{"0", 0, 0},
+		{"-1", 0, 0},
+		{"garbage", 0, 0},
+		// An HTTP-date ~3s out parses to roughly that long from now.
+		{time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat), time.Second, 3 * time.Second},
+		// A date in the past means "now": no wait.
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0},
+	}
+	for _, c := range cases {
+		got := parseRetryAfter(c.in)
+		if got < c.min || got > c.max {
+			t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", c.in, got, c.min, c.max)
+		}
+	}
+}
+
+func TestRetryDelayEqualJitter(t *testing.T) {
+	c := New("http://example", WithRetry(4, 100*time.Millisecond))
+	for attempt := 1; attempt <= 4; attempt++ {
+		d := c.backoff << (attempt - 1)
+		for i := 0; i < 50; i++ {
+			got := c.retryDelay(attempt, 0)
+			if got < d/2 || got >= d {
+				t.Fatalf("attempt %d delay = %v, want in [%v, %v)", attempt, got, d/2, d)
+			}
+		}
+	}
+	// Disabled backoff never sleeps.
+	z := New("http://example", WithRetry(1, 0))
+	if got := z.retryDelay(1, 0); got != 0 {
+		t.Fatalf("zero-backoff delay = %v", got)
+	}
+}
+
+func TestRetryDelayHonorsServerHint(t *testing.T) {
+	c := New("http://example", WithRetry(3, 100*time.Millisecond))
+	for i := 0; i < 50; i++ {
+		got := c.retryDelay(1, 2*time.Second)
+		// The hint wins over the computed backoff, decorated with up to 10%
+		// of the base backoff as fan-in jitter.
+		if got < 2*time.Second || got >= 2*time.Second+10*time.Millisecond {
+			t.Fatalf("hinted delay = %v, want in [2s, 2.01s)", got)
+		}
+	}
+}
+
+func TestAPIErrorCarriesRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":{"code":"overloaded","message":"load shed","request_id":"rid-1"}}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(0, 0))
+	_, err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.StatusCode != http.StatusTooManyRequests || ae.Code != "overloaded" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if ae.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", ae.RetryAfter)
+	}
+}
+
+// TestRetryUsesServerHint: a 429 with a Retry-After of 0 seconds… cannot be
+// sent (the header's floor is 1s), so drive the hint path through a
+// transport-visible retry: first response 429 + Retry-After, second 200, and
+// a base backoff large enough that honoring the (smaller) hint is clearly
+// distinguishable from the default exponential wait.
+func TestRetryUsesServerHint(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":{"code":"rate_limited","message":"slow down"}}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	// Base backoff of 30s would make the default equal-jitter wait ≥ 15s;
+	// the 1s server hint must win.
+	c := New(ts.URL, WithRetry(1, 30*time.Second))
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	if elapsed < time.Second || elapsed > 10*time.Second {
+		t.Fatalf("retry waited %v, want ~1s (the server hint, not the 30s backoff)", elapsed)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -49,8 +50,12 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 
 // WithRetry sets how many times a transiently-failed call is retried (see
 // the package doc for which method/status combinations qualify), and the
-// initial backoff, which doubles per attempt. WithRetry(0, 0) disables
-// retries.
+// base backoff. The wait before attempt n doubles the base per attempt and
+// is then jittered to half-to-full of that value ("equal jitter"), so a
+// fleet of clients rejected together does not come back as one synchronized
+// retry storm. When the server supplied a Retry-After on a 429/503, that
+// takes precedence over the computed backoff (plus a small jitter).
+// WithRetry(0, 0) disables retries.
 func WithRetry(maxRetries int, backoff time.Duration) Option {
 	return func(c *Client) {
 		c.maxRetries = maxRetries
@@ -88,6 +93,10 @@ type APIError struct {
 	Code       string // /v1 error code, e.g. "bad_request", "task_closed"
 	Message    string
 	RequestID  string
+	// RetryAfter is the server's Retry-After hint (429/503 shed-load and
+	// degraded-mode responses), zero when absent. The retry loop honors it;
+	// callers handling the error themselves should too.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -128,12 +137,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("crowdplanner: encoding request: %w", err)
 		}
 	}
+	var retryAfter time.Duration // server's Retry-After from the last reply
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, c.backoff<<(attempt-1)); err != nil {
+			if err := sleepCtx(ctx, c.retryDelay(attempt, retryAfter)); err != nil {
 				return err
 			}
 		}
+		retryAfter = 0
 		var body io.Reader
 		if payload != nil {
 			body = bytes.NewReader(payload)
@@ -161,7 +172,36 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if done || attempt >= c.maxRetries {
 			return err
 		}
+		var ae *APIError
+		if errors.As(err, &ae) {
+			retryAfter = ae.RetryAfter
+		}
 	}
+}
+
+// retryDelay computes the wait before retry attempt n (1-based). A server
+// Retry-After wins outright, plus up to 10% of the base backoff as jitter
+// so a fleet told "retry in 1s" fans back in over ~100ms instead of as one
+// spike. Otherwise: equal jitter over the doubled base — a uniform draw
+// from [d/2, d) where d = backoff<<(n-1) — which preserves the exponential
+// envelope while decorrelating concurrent clients.
+func (c *Client) retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter + jitter(c.backoff/10)
+	}
+	d := c.backoff << (attempt - 1)
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + jitter(d/2)
+}
+
+// jitter draws uniformly from [0, d).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d)))
 }
 
 // handleResponse consumes resp. done is false when the caller should retry.
@@ -178,7 +218,11 @@ func (c *Client) handleResponse(method string, resp *http.Response, out any) (do
 		return true, nil
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-	ae := &APIError{StatusCode: resp.StatusCode, RequestID: resp.Header.Get("X-Request-ID")}
+	ae := &APIError{
+		StatusCode: resp.StatusCode,
+		RequestID:  resp.Header.Get("X-Request-ID"),
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
 	var envelope struct {
 		Error struct {
 			Code      string `json:"code"`
@@ -196,6 +240,26 @@ func (c *Client) handleResponse(method string, resp *http.Response, out any) (do
 		ae.Message = string(bytes.TrimSpace(raw))
 	}
 	return !retryable(method, resp.StatusCode), ae
+}
+
+// parseRetryAfter decodes a Retry-After header: delta-seconds or an
+// HTTP-date (RFC 9110 §10.2.3). Unparseable or past values yield zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // sleepCtx sleeps for d or until ctx is done.

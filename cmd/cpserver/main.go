@@ -46,8 +46,40 @@ func main() {
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 		dataDir = flag.String("data-dir", "", "directory for durable state (snapshot + WAL); empty keeps state in memory only")
 		noSync  = flag.Bool("no-fsync", false, "skip the fsync after each WAL append (faster, loses the last commits on power failure)")
+
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout (full request)")
+		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "HTTP server write timeout (full response)")
+		idleTimeout  = flag.Duration("idle-timeout", 90*time.Second, "HTTP keep-alive idle timeout")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline budget propagated to the serving core (0 disables)")
+
+		maxConcurrent = flag.Int("max-concurrent", 0, "cap on requests in service at once; beyond it requests queue, then shed with 429 (0 disables admission control)")
+		maxQueue      = flag.Int("max-queue", 64, "bounded waiting room beyond -max-concurrent before shedding")
+		rateLimit     = flag.Float64("rate-limit", 0, "per-client token-bucket rate in req/s, keyed by X-API-Key or remote address (0 disables)")
+		rateBurst     = flag.Float64("rate-burst", 0, "token-bucket capacity (0 derives 2x -rate-limit)")
 	)
 	flag.Parse()
+
+	// Fail fast on nonsense serving limits rather than booting a server
+	// whose protection layer silently cannot work.
+	for name, d := range map[string]time.Duration{
+		"-read-timeout": *readTimeout, "-write-timeout": *writeTimeout, "-idle-timeout": *idleTimeout,
+	} {
+		if d <= 0 {
+			log.Fatalf("%s must be positive, got %v", name, d)
+		}
+	}
+	if *reqTimeout < 0 {
+		log.Fatalf("-request-timeout must be >= 0, got %v", *reqTimeout)
+	}
+	if *reqTimeout > 0 && *reqTimeout >= *writeTimeout {
+		log.Fatalf("-request-timeout (%v) must be below -write-timeout (%v), or the connection dies before the 504 can be written", *reqTimeout, *writeTimeout)
+	}
+	if *maxConcurrent < 0 || *maxQueue < 0 {
+		log.Fatalf("-max-concurrent and -max-queue must be >= 0")
+	}
+	if *rateLimit < 0 || *rateBurst < 0 {
+		log.Fatalf("-rate-limit and -rate-burst must be >= 0")
+	}
 
 	cfg := core.DefaultScenarioConfig()
 	if *size == "small" {
@@ -91,15 +123,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	opts := []server.Option{server.WithLogger(log.Default())}
+	if *maxConcurrent > 0 || *rateLimit > 0 || *reqTimeout > 0 {
+		opts = append(opts, server.WithOverload(server.OverloadConfig{
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			RatePerSec:     *rateLimit,
+			Burst:          *rateBurst,
+			RequestTimeout: *reqTimeout,
+		}))
+		log.Printf("overload protection: max-concurrent=%d max-queue=%d rate-limit=%g/s request-timeout=%v",
+			*maxConcurrent, *maxQueue, *rateLimit, *reqTimeout)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(scn.System, server.WithLogger(log.Default())).Handler(),
+		Handler: server.New(scn.System, opts...).Handler(),
 		// Slow-loris protection: a connection that won't finish its headers
 		// or drain its response can't pin a goroutine forever.
 		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       90 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	log.Printf("serving CrowdPlanner API on %s", *addr)
 	fmt.Printf("try: curl -s -X POST localhost%s/v1/recommend -d '{\"from\":%d,\"to\":%d,\"depart_min\":510}'\n",

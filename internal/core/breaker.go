@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"crowdplanner/internal/store"
+)
+
+// Circuit breaker over the storage backend (graceful degradation tier).
+//
+// The serving path already absorbs append failures — a request never fails
+// because the disk hiccuped — but with a persistently sick backend that
+// policy silently drops every commit while the operator sees only a rising
+// append_errors counter. The breaker makes the failure mode explicit:
+// after Threshold consecutive append failures it opens, the system reports
+// itself degraded (GET /v1/health flips to "degraded", the server returns
+// 503 on mutating endpoints), and further appends are short-circuited
+// without touching the backend. Recovery is probed half-open: after every
+// ProbeEvery short-circuited appends one real append is let through; a
+// success closes the breaker, a failure re-opens the probe window.
+//
+// The breaker is deliberately count-based, not time-based: internal/core is
+// a deterministic-replay package (no wall clock — see cplint's wallclock
+// analyzer), and the serving path supplies steady probe traffic anyway
+// (recommends keep committing truths even while degraded). Snapshots are
+// never short-circuited — POST /v1/admin/snapshot is the operator's heal
+// lever, and a successful snapshot closes the breaker immediately.
+
+// ErrStoreDegraded is returned by short-circuited backend operations while
+// the breaker is open. Compare with errors.Is.
+var ErrStoreDegraded = errors.New("core: storage backend degraded (circuit breaker open)")
+
+// BreakerConfig configures the storage circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive append failures that opens the
+	// breaker. <= 0 disables the breaker entirely (appends always reach the
+	// backend; failures are only counted).
+	Threshold int
+	// ProbeEvery is how many short-circuited appends pass between half-open
+	// probes while the breaker is open. <= 0 defaults to 16.
+	ProbeEvery int
+}
+
+// DefaultBreakerConfig returns the breaker settings used by DefaultConfig.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{Threshold: 8, ProbeEvery: 16}
+}
+
+// BreakerState names the breaker's observable state.
+type BreakerState string
+
+// The breaker states surfaced on GET /v1/health.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half_open" // open, probe in flight
+)
+
+// BreakerStats is the breaker's observable state and counters.
+type BreakerStats struct {
+	Enabled bool         `json:"enabled"`
+	State   BreakerState `json:"state"`
+	// ConsecutiveFailures is the current run of append failures (resets on
+	// any success).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Opens counts closed→open transitions since process start.
+	Opens uint64 `json:"opens"`
+	// ShortCircuits counts appends rejected without reaching the backend.
+	ShortCircuits uint64 `json:"short_circuits"`
+	// Probes counts half-open probe appends let through while open.
+	Probes uint64 `json:"probes"`
+}
+
+// breakerStore wraps a store.Store with the circuit breaker. It implements
+// store.Store and store.WorldVerifier (forwarding), so the rest of the core
+// is oblivious to it.
+type breakerStore struct {
+	inner      store.Store
+	threshold  int
+	probeEvery int
+
+	mu sync.Mutex
+	//cplint:guardedby mu
+	consecFails int
+	//cplint:guardedby mu
+	open bool
+	//cplint:guardedby mu
+	probing bool // a half-open probe is in flight
+	//cplint:guardedby mu
+	sinceProbe int // short-circuits since the last probe window opened
+	//cplint:guardedby mu
+	opens uint64
+	//cplint:guardedby mu
+	shortCircuits uint64
+	//cplint:guardedby mu
+	probes uint64
+}
+
+func newBreakerStore(inner store.Store, cfg BreakerConfig) *breakerStore {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 16
+	}
+	return &breakerStore{inner: inner, threshold: cfg.Threshold, probeEvery: cfg.ProbeEvery}
+}
+
+// admit decides whether an append may reach the backend, tracking the probe
+// window while open. Called with the lock NOT held.
+func (b *breakerStore) admit() (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return false, nil
+	}
+	if !b.probing {
+		b.sinceProbe++
+		if b.sinceProbe >= b.probeEvery {
+			b.probing = true
+			b.probes++
+			return true, nil
+		}
+	}
+	b.shortCircuits++
+	return false, ErrStoreDegraded
+}
+
+// record folds one backend result into the breaker state. A success — any
+// success, probe or not — closes the breaker; a probe failure re-arms the
+// probe window.
+func (b *breakerStore) record(probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		b.sinceProbe = 0
+	}
+	if err != nil {
+		b.consecFails++
+		if !b.open && b.consecFails >= b.threshold {
+			b.open = true
+			b.opens++
+			b.sinceProbe = 0
+			b.probing = false
+		}
+		return
+	}
+	b.consecFails = 0
+	if b.open {
+		b.open = false
+		b.probing = false
+		b.sinceProbe = 0
+	}
+}
+
+// through runs one append through the breaker. The backend call runs with
+// no breaker lock held (it does file I/O and takes the backend's own append
+// mutex, which also serializes snapshot captures).
+func (b *breakerStore) through(call func() error) error {
+	probe, err := b.admit()
+	if err != nil {
+		return err
+	}
+	err = call()
+	b.record(probe, err)
+	return err
+}
+
+func (b *breakerStore) stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		Enabled:             true,
+		State:               BreakerClosed,
+		ConsecutiveFailures: b.consecFails,
+		Opens:               b.opens,
+		ShortCircuits:       b.shortCircuits,
+		Probes:              b.probes,
+	}
+	if b.open {
+		st.State = BreakerOpen
+		if b.probing {
+			st.State = BreakerHalfOpen
+		}
+	}
+	return st
+}
+
+func (b *breakerStore) degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// AppendTruth implements store.TruthLog.
+func (b *breakerStore) AppendTruth(r store.TruthRecord) error {
+	return b.through(func() error { return b.inner.AppendTruth(r) })
+}
+
+// AppendWorkerEvents implements store.WorkerLog.
+func (b *breakerStore) AppendWorkerEvents(evs []store.WorkerEvent) error {
+	return b.through(func() error { return b.inner.AppendWorkerEvents(evs) })
+}
+
+// AppendTrips implements store.TrajLog.
+func (b *breakerStore) AppendTrips(recs []store.TrajRecord) error {
+	return b.through(func() error { return b.inner.AppendTrips(recs) })
+}
+
+// AppendTaskOpen implements store.TaskLog.
+func (b *breakerStore) AppendTaskOpen(r store.TaskRecord) error {
+	return b.through(func() error { return b.inner.AppendTaskOpen(r) })
+}
+
+// AppendTaskDecision implements store.TaskLog.
+func (b *breakerStore) AppendTaskDecision(id int64, index int, yes bool) error {
+	return b.through(func() error { return b.inner.AppendTaskDecision(id, index, yes) })
+}
+
+// AppendTaskClose implements store.TaskLog.
+func (b *breakerStore) AppendTaskClose(id int64) error {
+	return b.through(func() error { return b.inner.AppendTaskClose(id) })
+}
+
+// Snapshot is never short-circuited: it is the operator's explicit heal
+// lever, and its result feeds the breaker (success closes it).
+func (b *breakerStore) Snapshot(capture func() *store.State) error {
+	err := b.inner.Snapshot(capture)
+	b.record(false, err)
+	return err
+}
+
+// Load delegates; boot-time restore is not subject to the breaker.
+func (b *breakerStore) Load() (*store.State, error) { return b.inner.Load() }
+
+// Stats delegates so /v1/health keeps reporting the real backend.
+func (b *breakerStore) Stats() store.Stats { return b.inner.Stats() }
+
+// Close delegates.
+func (b *breakerStore) Close() error { return b.inner.Close() }
+
+// VerifyWorld forwards the world-fingerprint check to backends that pin it.
+func (b *breakerStore) VerifyWorld(fingerprint uint64) error {
+	if v, ok := b.inner.(store.WorldVerifier); ok {
+		return v.VerifyWorld(fingerprint)
+	}
+	return nil
+}
+
+// Degraded reports whether the storage circuit breaker is open: commits are
+// being short-circuited and the server should refuse mutating endpoints.
+// Always false when the breaker is disabled or no durable backend is sick.
+func (s *System) Degraded() bool {
+	if s.breaker == nil {
+		return false
+	}
+	return s.breaker.degraded()
+}
+
+// BreakerStats reports the storage circuit breaker's state and counters
+// (zero-valued with Enabled=false when the breaker is disabled). Surfaced
+// under the store section of GET /v1/health.
+func (s *System) BreakerStats() BreakerStats {
+	if s.breaker == nil {
+		return BreakerStats{State: BreakerClosed}
+	}
+	return s.breaker.stats()
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"crowdplanner/internal/store"
+	"crowdplanner/internal/task"
+)
+
+// flappingStore is a store.Store whose appends fail while fail is set —
+// the minimal sick backend for breaker state-machine tests.
+type flappingStore struct {
+	mu sync.Mutex
+	//cplint:guardedby mu
+	fail bool
+	//cplint:guardedby mu
+	calls int // inner appends that actually ran
+}
+
+func (f *flappingStore) setFail(v bool) {
+	f.mu.Lock()
+	f.fail = v
+	f.mu.Unlock()
+}
+
+func (f *flappingStore) innerCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+var errFlap = errors.New("flap")
+
+func (f *flappingStore) op() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.fail {
+		return errFlap
+	}
+	return nil
+}
+
+func (f *flappingStore) AppendTruth(store.TruthRecord) error          { return f.op() }
+func (f *flappingStore) AppendWorkerEvents([]store.WorkerEvent) error { return f.op() }
+func (f *flappingStore) AppendTrips([]store.TrajRecord) error         { return f.op() }
+func (f *flappingStore) AppendTaskOpen(store.TaskRecord) error        { return f.op() }
+func (f *flappingStore) AppendTaskDecision(int64, int, bool) error    { return f.op() }
+func (f *flappingStore) AppendTaskClose(int64) error                  { return f.op() }
+func (f *flappingStore) Load() (*store.State, error)                  { return nil, nil }
+func (f *flappingStore) Snapshot(func() *store.State) error           { return f.op() }
+func (f *flappingStore) Stats() store.Stats                           { return store.Stats{Backend: "flap"} }
+func (f *flappingStore) Close() error                                 { return nil }
+
+func TestBreakerOpensAfterThresholdAndProbesHalfOpen(t *testing.T) {
+	fs := &flappingStore{}
+	fs.setFail(true)
+	b := newBreakerStore(fs, BreakerConfig{Threshold: 3, ProbeEvery: 2})
+
+	// Three real failures open the breaker.
+	for i := 0; i < 3; i++ {
+		if err := b.AppendTruth(store.TruthRecord{}); !errors.Is(err, errFlap) {
+			t.Fatalf("append %d err = %v, want errFlap", i, err)
+		}
+	}
+	if st := b.stats(); st.State != BreakerOpen || st.Opens != 1 {
+		t.Fatalf("after threshold: %+v", st)
+	}
+	if got := fs.innerCalls(); got != 3 {
+		t.Fatalf("inner calls = %d, want 3", got)
+	}
+
+	// First rejected append is short-circuited: the backend is not touched.
+	if err := b.AppendTruth(store.TruthRecord{}); !errors.Is(err, ErrStoreDegraded) {
+		t.Fatalf("short-circuit err = %v, want ErrStoreDegraded", err)
+	}
+	if got := fs.innerCalls(); got != 3 {
+		t.Fatalf("inner calls after short-circuit = %d, want 3", got)
+	}
+
+	// The second hits ProbeEvery and goes through as a half-open probe; the
+	// backend is still sick, so the breaker stays open.
+	if err := b.AppendTruth(store.TruthRecord{}); !errors.Is(err, errFlap) {
+		t.Fatalf("probe err = %v, want errFlap", err)
+	}
+	if got := fs.innerCalls(); got != 4 {
+		t.Fatalf("inner calls after probe = %d, want 4", got)
+	}
+	st := b.stats()
+	if st.State != BreakerOpen || st.Probes != 1 || st.ShortCircuits != 1 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+
+	// Heal the backend: one more short-circuit re-arms the window, then the
+	// next probe succeeds and closes the breaker.
+	fs.setFail(false)
+	if err := b.AppendTruth(store.TruthRecord{}); !errors.Is(err, ErrStoreDegraded) {
+		t.Fatalf("post-heal short-circuit err = %v", err)
+	}
+	if err := b.AppendTruth(store.TruthRecord{}); err != nil {
+		t.Fatalf("recovery probe err = %v", err)
+	}
+	if st := b.stats(); st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	// Closed again: appends flow straight through.
+	if err := b.AppendTruth(store.TruthRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.innerCalls(); got != 6 {
+		t.Fatalf("inner calls = %d, want 6", got)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveFailures(t *testing.T) {
+	fs := &flappingStore{}
+	b := newBreakerStore(fs, BreakerConfig{Threshold: 3, ProbeEvery: 2})
+	fs.setFail(true)
+	_ = b.AppendTruth(store.TruthRecord{})
+	_ = b.AppendTruth(store.TruthRecord{})
+	fs.setFail(false)
+	if err := b.AppendTruth(store.TruthRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	fs.setFail(true)
+	_ = b.AppendTruth(store.TruthRecord{})
+	_ = b.AppendTruth(store.TruthRecord{})
+	if st := b.stats(); st.State != BreakerClosed || st.ConsecutiveFailures != 2 {
+		t.Fatalf("interleaved failures must not open: %+v", st)
+	}
+}
+
+func TestBreakerSnapshotIsNeverShortCircuitedAndHeals(t *testing.T) {
+	fs := &flappingStore{}
+	fs.setFail(true)
+	b := newBreakerStore(fs, BreakerConfig{Threshold: 2, ProbeEvery: 1000})
+	_ = b.AppendTruth(store.TruthRecord{})
+	_ = b.AppendTruth(store.TruthRecord{})
+	if st := b.stats(); st.State != BreakerOpen {
+		t.Fatalf("state = %v, want open", st.State)
+	}
+	// Even wide-open, a snapshot reaches the backend (the operator's heal
+	// lever), and its success closes the breaker immediately.
+	fs.setFail(false)
+	if err := b.Snapshot(func() *store.State { return &store.State{} }); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.stats(); st.State != BreakerClosed {
+		t.Fatalf("after snapshot heal: %+v", st)
+	}
+}
+
+func TestSystemBreakerDefaultsHealthy(t *testing.T) {
+	s := scenario(t).System
+	if s.Degraded() {
+		t.Fatal("fresh system reports degraded")
+	}
+	st := s.BreakerStats()
+	if !st.Enabled || st.State != BreakerClosed {
+		t.Fatalf("breaker stats = %+v, want enabled+closed (DefaultConfig)", st)
+	}
+}
+
+func TestSingleflightFollowerSharesLeaderResult(t *testing.T) {
+	s := scenario(t).System
+	from, to, depart := pickOD(scenario(t))
+	req := Request{From: from, To: to, Depart: depart}
+	key := s.cacheKey(req)
+	s.routes.Invalidate(key)
+
+	before := s.CoalescedRequests()
+	f := &flight{done: make(chan struct{})}
+	s.flightMu.Lock()
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	type result struct {
+		cands []task.Candidate
+		err   error
+	}
+	res := make(chan result, 1)
+	go func() {
+		c, err := s.Candidates(context.Background(), req)
+		res <- result{c, err}
+	}()
+
+	// The coalesced counter ticks once the goroutine has committed to the
+	// flight; only then is it safe to publish and close.
+	for s.CoalescedRequests() != before+1 {
+		runtime.Gosched()
+	}
+	// Publish the stub result; the follower must return exactly it.
+	f.cands = []task.Candidate{{Source: "stub-leader"}}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.cands) != 1 || r.cands[0].Source != "stub-leader" {
+		t.Fatalf("follower got %+v, want the leader's stub", r.cands)
+	}
+	if got := s.CoalescedRequests(); got != before+1 {
+		t.Fatalf("coalesced = %d, want %d", got, before+1)
+	}
+	// The stub never populated the cache; drop any residue for other tests.
+	s.routes.Invalidate(key)
+}
+
+func TestSingleflightFollowerRetriesAfterLeaderFailure(t *testing.T) {
+	s := scenario(t).System
+	from, to, depart := pickOD(scenario(t))
+	req := Request{From: from, To: to, Depart: depart}
+	key := s.cacheKey(req)
+	s.routes.Invalidate(key)
+
+	f := &flight{done: make(chan struct{})}
+	s.flightMu.Lock()
+	s.flights[key] = f
+	s.flightMu.Unlock()
+	before := s.CoalescedRequests()
+
+	res := make(chan []task.Candidate, 1)
+	go func() {
+		c, err := s.Candidates(context.Background(), req)
+		if err != nil {
+			t.Error(err)
+		}
+		res <- c
+	}()
+	for s.CoalescedRequests() != before+1 {
+		runtime.Gosched()
+	}
+
+	// The leader "fails" (its own context was cancelled); the follower must
+	// retry, become the leader itself, and produce real candidates.
+	f.err = context.Canceled
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+
+	cands := <-res
+	if len(cands) == 0 {
+		t.Fatal("retrying follower produced no candidates")
+	}
+	if _, ok := s.routes.Get(key); !ok {
+		t.Fatal("retry did not populate the route cache")
+	}
+}
+
+func TestSingleflightConcurrentRequestsAgree(t *testing.T) {
+	s := scenario(t).System
+	from, to, depart := pickOD(scenario(t))
+	// A distinct slot from the other tests, so this starts cold.
+	req := Request{From: from, To: to, Depart: depart + 540}
+	s.routes.Invalidate(s.cacheKey(req))
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([][]task.Candidate, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = s.Candidates(context.Background(), req)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("request %d got %d candidates, request 0 got %d", i, len(results[i]), len(results[0]))
+		}
+		for j := range results[i] {
+			if results[i][j].Source != results[0][j].Source {
+				t.Fatalf("request %d candidate %d source %q != %q", i, j, results[i][j].Source, results[0][j].Source)
+			}
+		}
+	}
+}

@@ -136,6 +136,12 @@ type Config struct {
 	// serving to replay persisted state.
 	Store store.Store
 
+	// Breaker is the circuit breaker over store appends: K consecutive
+	// failures flip the system to a degraded read-only mode instead of
+	// silently dropping every commit (see breaker.go). Threshold <= 0
+	// disables it.
+	Breaker BreakerConfig
+
 	Seed int64
 }
 
@@ -162,6 +168,7 @@ func DefaultConfig() Config {
 		Answers:               crowd.DefaultAnswerModel(),
 		Rewards:               crowd.DefaultRewardConfig(),
 		OracleSample:          60,
+		Breaker:               DefaultBreakerConfig(),
 		Seed:                  1,
 	}
 }
@@ -228,9 +235,20 @@ type System struct {
 	// lifecycle) as it happens; see internal/store and persist.go for the
 	// locking contract (appends never run under mu/poolMu). appendErrs
 	// counts failed appends — the serving path never blocks on a sick
-	// backend; the count is surfaced on /v1/health.
+	// backend; the count is surfaced on /v1/health. breaker is the circuit
+	// breaker the backend is wrapped in (nil when disabled); Degraded()
+	// reports its state to the server layer.
 	backend    store.Store
+	breaker    *breakerStore
 	appendErrs atomic.Uint64
+
+	// Singleflight over route-cache misses: N concurrent requests for one
+	// cold OD+slot cost one candidate generation (fan-out of graph searches
+	// and miners); followers wait for the leader and share the result.
+	flightMu sync.Mutex
+	//cplint:guardedby flightMu
+	flights   map[routecache.Key]*flight
+	coalesced atomic.Uint64 // requests that waited on another's generation
 }
 
 // New assembles a system over the given substrates. The landmark set must
@@ -245,6 +263,11 @@ func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, po
 		// bound in long-lived servers and benchmarks).
 		backend = store.Discard()
 	}
+	var breaker *breakerStore
+	if cfg.Breaker.Threshold > 0 {
+		breaker = newBreakerStore(backend, cfg.Breaker)
+		backend = breaker
+	}
 	s := &System{
 		cfg:       cfg,
 		graph:     g,
@@ -257,6 +280,8 @@ func New(cfg Config, g *roadnet.Graph, lms *landmark.Set, data *traj.Dataset, po
 		routes:    routecache.New[[]task.Candidate](cfg.RouteCacheCapacity),
 		reliance:  newReliabilityTracker(),
 		backend:   backend,
+		breaker:   breaker,
+		flights:   make(map[routecache.Key]*flight),
 	}
 	// Spatial truth index: bucket truths by from-endpoint cell sized to the
 	// confidence query radius, so Near touches only nearby buckets.
@@ -422,27 +447,85 @@ func (s *System) cacheKey(req Request) routecache.Key {
 	}
 }
 
-// generateCandidates collects routes from the web-service providers and the
+// flight is one in-progress candidate generation other requests for the
+// same key can wait on. The leader fills cands/err, then closes done.
+type flight struct {
+	done  chan struct{}
+	cands []task.Candidate
+	err   error
+}
+
+// generateCandidates returns the calibrated candidate set for a request:
+// from the route cache when warm, otherwise via computeCandidates behind a
+// per-key singleflight — N concurrent requests for one cold OD+slot cost
+// one fan-out of graph searches and miners; the followers wait for the
+// leader and copy its result (counted in coalesced). A follower whose
+// leader failed (typically the leader's own context was cancelled) retries
+// from the top: re-check the cache, then race to become the next leader.
+func (s *System) generateCandidates(ctx context.Context, req Request) ([]task.Candidate, error) {
+	key := s.cacheKey(req)
+	for {
+		if cached, ok := s.routes.Get(key); ok {
+			// Candidates are value structs; hand back a fresh slice so callers
+			// can fill in priors without mutating the shared cached copy.
+			out := make([]task.Candidate, len(cached))
+			copy(out, cached)
+			return out, nil
+		}
+		if err := ctx.Err(); err != nil {
+			// Abort before any graph search or mining runs.
+			return nil, err
+		}
+
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			s.coalesced.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				continue // leader failed; retry as a potential leader
+			}
+			out := make([]task.Candidate, len(f.cands))
+			copy(out, f.cands)
+			return out, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		f.cands, f.err = s.computeCandidates(ctx, req, key)
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return nil, f.err
+		}
+		// The leader also hands back a copy: its caller fills in priors,
+		// and followers may still be copying from f.cands.
+		out := make([]task.Candidate, len(f.cands))
+		copy(out, f.cands)
+		return out, nil
+	}
+}
+
+// CoalescedRequests counts requests that waited on another request's
+// in-flight candidate generation instead of starting their own (the
+// singleflight counter surfaced on GET /v1/health).
+func (s *System) CoalescedRequests() uint64 { return s.coalesced.Load() }
+
+// computeCandidates collects routes from the web-service providers and the
 // popular-route miners, calibrates them to landmark-based form, and dedups
 // identical node sequences (merging provenance). The providers are
 // independent pure searches, so they fan out across goroutines; the merge
 // happens in a fixed provider order, keeping the result identical to a
 // sequential run. Generated sets are cached by (from, to, depart-slot) so
 // repeat OD pairs skip graph search entirely.
-func (s *System) generateCandidates(ctx context.Context, req Request) ([]task.Candidate, error) {
-	key := s.cacheKey(req)
-	if cached, ok := s.routes.Get(key); ok {
-		// Candidates are value structs; hand back a fresh slice so callers
-		// can fill in priors without mutating the shared cached copy.
-		out := make([]task.Candidate, len(cached))
-		copy(out, cached)
-		return out, nil
-	}
-	if err := ctx.Err(); err != nil {
-		// Abort before any graph search or mining runs.
-		return nil, err
-	}
-
+func (s *System) computeCandidates(ctx context.Context, req Request, key routecache.Key) ([]task.Candidate, error) {
 	proposals := s.proposeRoutes(ctx, req)
 	if err := ctx.Err(); err != nil {
 		// Cancelled mid-fan-out: the proposal set may be partial, so don't

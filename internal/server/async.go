@@ -76,6 +76,13 @@ func (s *Server) recommendResponse(resp *core.Response, depart float64) *Recomme
 }
 
 func (s *Server) handleRecommendAsync(w http.ResponseWriter, r *http.Request, v1 bool) {
+	// Publishing a crowd task writes task-lifecycle records; with the
+	// storage breaker open those would be short-circuited and the task lost
+	// on restart, so async publication is refused while degraded (the
+	// synchronous /v1/recommend keeps serving).
+	if s.rejectIfDegraded(w, r, v1) {
+		return
+	}
 	var req RecommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, r, v1, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: %v", err)
@@ -144,6 +151,9 @@ type AnswerResponse struct {
 }
 
 func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request, v1 bool) {
+	if s.rejectIfDegraded(w, r, v1) {
+		return
+	}
 	p, ok := s.taskFromPath(w, r, v1)
 	if !ok {
 		return
@@ -167,6 +177,9 @@ func (s *Server) handleTaskAnswer(w http.ResponseWriter, r *http.Request, v1 boo
 }
 
 func (s *Server) handleTaskExpire(w http.ResponseWriter, r *http.Request, v1 bool) {
+	if s.rejectIfDegraded(w, r, v1) {
+		return
+	}
 	p, ok := s.taskFromPath(w, r, v1)
 	if !ok {
 		return

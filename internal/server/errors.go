@@ -38,6 +38,15 @@ const (
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 	// CodeTooLarge (413): the batch exceeds the configured item limit.
 	CodeTooLarge ErrorCode = "too_large"
+	// CodeOverloaded (429): the bounded admission queue is full; the load
+	// was shed. Retry after the Retry-After hint.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeRateLimited (429): the per-client token bucket is empty. Retry
+	// after the Retry-After hint.
+	CodeRateLimited ErrorCode = "rate_limited"
+	// CodeDegraded (503): the storage circuit breaker is open; mutating
+	// endpoints are read-only until the backend heals.
+	CodeDegraded ErrorCode = "degraded"
 	// CodeUnprocessable (422): the pipeline failed for a request-specific
 	// reason not covered by a more precise code.
 	CodeUnprocessable ErrorCode = "unprocessable"

@@ -43,10 +43,11 @@ import (
 
 // Server wraps a core.System with an HTTP API.
 type Server struct {
-	sys     *core.System
-	mux     *http.ServeMux
-	metrics *metricsRegistry
-	logger  *log.Logger
+	sys      *core.System
+	mux      *http.ServeMux
+	metrics  *metricsRegistry
+	logger   *log.Logger
+	overload *overloadGuard // nil unless WithOverload was given
 
 	batchMaxItems int
 	batchParallel int
@@ -131,9 +132,12 @@ func New(sys *core.System, opts ...Option) *Server {
 }
 
 // Handler returns the root handler: request-ID assignment, access logging,
-// and panic recovery around the versioned mux.
+// panic recovery, and (when configured) the overload admission layer around
+// the versioned mux. Admission runs inside recovery so a shed response is
+// logged and instrumented like any other, and after request-ID assignment
+// so shed 429s still carry an X-Request-ID.
 func (s *Server) Handler() http.Handler {
-	return withRequestID(s.withAccessLog(s.withRecovery(s.mux)))
+	return withRequestID(s.withAccessLog(s.withRecovery(s.withOverload(s.mux))))
 }
 
 // versionedHandler serves one endpoint for both surfaces; v1 selects the
@@ -294,15 +298,18 @@ type HealthV1Response struct {
 	OpenTasks int                        `json:"open_tasks"`
 	UptimeSec float64                    `json:"uptime_sec"`
 	Store     StoreInfo                  `json:"store"`
+	Overload  OverloadInfo               `json:"overload"`
 	Routing   routing.Stats              `json:"routing"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
-// StoreInfo reports the storage backend's counters (see internal/store) plus
-// the append failures the serving path absorbed.
+// StoreInfo reports the storage backend's counters (see internal/store),
+// the append failures the serving path absorbed, and the circuit breaker's
+// state over the backend.
 type StoreInfo struct {
 	store.Stats
-	AppendErrors uint64 `json:"append_errors"`
+	AppendErrors uint64            `json:"append_errors"`
+	Breaker      core.BreakerStats `json:"breaker"`
 }
 
 // RouteCacheInfo reports the candidate route cache counters (all zero when
@@ -319,8 +326,14 @@ type RouteCacheInfo struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, v1 bool) {
 	cs := s.sys.RouteCacheStats()
+	status := "ok"
+	if s.sys.Degraded() {
+		// The storage circuit breaker is open: reads still serve, mutating
+		// endpoints answer 503 (see rejectIfDegraded).
+		status = "degraded"
+	}
 	base := HealthResponse{
-		Status:    "ok",
+		Status:    status,
 		Nodes:     s.sys.Graph().NumNodes(),
 		Edges:     s.sys.Graph().NumEdges(),
 		Landmarks: s.sys.Landmarks().Len(),
@@ -343,7 +356,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request, v1 bool) {
 		HealthResponse: base,
 		OpenTasks:      s.sys.OpenTasks(),
 		UptimeSec:      uptime,
-		Store:          StoreInfo{Stats: ss, AppendErrors: appendErrs},
+		Store:          StoreInfo{Stats: ss, AppendErrors: appendErrs, Breaker: s.sys.BreakerStats()},
+		Overload:       s.overloadInfo(),
 		Routing:        s.sys.RoutingStats(),
 		Endpoints:      endpoints,
 	})
@@ -368,7 +382,7 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request, v1 
 		return
 	}
 	_, appendErrs := s.sys.StoreStats()
-	writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: StoreInfo{Stats: stats, AppendErrors: appendErrs}})
+	writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: StoreInfo{Stats: stats, AppendErrors: appendErrs, Breaker: s.sys.BreakerStats()}})
 }
 
 // TruthInfo is one verified truth in GET /v1/truths.

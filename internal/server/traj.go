@@ -41,6 +41,13 @@ type IngestResponse struct {
 }
 
 func (s *Server) handleIngestTrajectories(w http.ResponseWriter, r *http.Request, v1 bool) {
+	// Ingested trips must be durable to be honest: while the storage
+	// breaker is open their append would be short-circuited, so the whole
+	// endpoint is refused (503) rather than accepting data that would
+	// vanish on restart.
+	if s.rejectIfDegraded(w, r, v1) {
+		return
+	}
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, r, v1, http.StatusBadRequest, CodeInvalidJSON, "invalid JSON: %v", err)

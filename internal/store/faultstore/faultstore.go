@@ -1,0 +1,429 @@
+// Package faultstore wraps any store.Store with deterministic, scripted
+// fault injection: append/snapshot failures, simulated process kills at
+// exact append ordinals, injected latency, and torn-write helpers that
+// corrupt a WAL tail the way a real crash mid-write would.
+//
+// The wrapper exists for the resilience test tier (crash-recovery torture
+// tests, circuit-breaker and degraded-mode tests) and for manual chaos runs;
+// it is never part of a production assembly. Fault schedules are pure
+// functions of (operation, ordinal) — optionally seeded for pseudo-random
+// flakiness — so a failing run replays bit-identically from its plan.
+//
+// Every delegated operation the inner store acknowledges is recorded in an
+// ack log. A torture test kills the store at append point k, reopens the
+// real backend, and asserts the reloaded state is exactly the acked prefix:
+// nothing acknowledged may be lost, nothing unacknowledged may appear as
+// committed.
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"crowdplanner/internal/store"
+)
+
+// Op identifies one class of store operation for fault-plan dispatch.
+type Op int
+
+// The operation classes a Plan can target. The append ordinal passed to
+// Decide counts every append-class op in one shared sequence (the order the
+// core committed them), so "kill at append 7" is well defined across types.
+const (
+	OpTruth Op = iota
+	OpWorkerEvents
+	OpTrips
+	OpTaskOpen
+	OpTaskDecision
+	OpTaskClose
+	OpSnapshot
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpTruth:
+		return "truth"
+	case OpWorkerEvents:
+		return "worker_events"
+	case OpTrips:
+		return "trips"
+	case OpTaskOpen:
+		return "task_open"
+	case OpTaskDecision:
+		return "task_decision"
+	case OpTaskClose:
+		return "task_close"
+	case OpSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// IsAppend reports whether the op is an append-class operation (counted in
+// the shared append ordinal sequence).
+func (o Op) IsAppend() bool { return o != OpSnapshot }
+
+// Decision is a Plan's verdict for one operation.
+type Decision struct {
+	// Err fails the operation with this error without delegating to the
+	// inner store (a sick disk: the record is NOT durable).
+	Err error
+	// Kill simulates a process death immediately BEFORE the operation
+	// reaches the inner store: the op fails with ErrKilled, is not durable,
+	// and every subsequent operation also fails with ErrKilled.
+	Kill bool
+	// KillAfter simulates a process death immediately AFTER the inner store
+	// acknowledged the operation: the op IS durable (and acked), but every
+	// subsequent operation fails with ErrKilled.
+	KillAfter bool
+	// Latency is slept before delegating (store slowdowns under load).
+	Latency time.Duration
+}
+
+// Plan decides the fate of each operation. n is the 1-based ordinal of the
+// operation within its class sequence: appends share one sequence (see Op);
+// snapshots count their own.
+type Plan interface {
+	Decide(op Op, n int) Decision
+}
+
+// PlanFunc adapts a function to the Plan interface.
+type PlanFunc func(op Op, n int) Decision
+
+// Decide implements Plan.
+func (f PlanFunc) Decide(op Op, n int) Decision { return f(op, n) }
+
+// Healthy returns the no-fault plan (useful as a heal target for SetPlan).
+func Healthy() Plan { return PlanFunc(func(Op, int) Decision { return Decision{} }) }
+
+// KillAtAppend kills the process right before the n-th append (1-based):
+// appends 1..n-1 land, append n and everything after fail with ErrKilled.
+func KillAtAppend(n int) Plan {
+	return PlanFunc(func(op Op, k int) Decision {
+		if op.IsAppend() && k == n {
+			return Decision{Kill: true}
+		}
+		return Decision{}
+	})
+}
+
+// KillAfterAppend kills the process right after the n-th append (1-based)
+// is acknowledged: appends 1..n land, everything after fails with ErrKilled.
+func KillAfterAppend(n int) Plan {
+	return PlanFunc(func(op Op, k int) Decision {
+		if op.IsAppend() && k == n {
+			return Decision{KillAfter: true}
+		}
+		return Decision{}
+	})
+}
+
+// FailAppends fails every append with err (snapshots still work — the
+// operator's heal lever). A nil err uses ErrInjected.
+func FailAppends(err error) Plan {
+	if err == nil {
+		err = ErrInjected
+	}
+	return PlanFunc(func(op Op, _ int) Decision {
+		if op.IsAppend() {
+			return Decision{Err: err}
+		}
+		return Decision{}
+	})
+}
+
+// FailAppendRange fails appends with ordinals in [from, to] (1-based,
+// inclusive) — a transient storage outage that later heals.
+func FailAppendRange(from, to int, err error) Plan {
+	if err == nil {
+		err = ErrInjected
+	}
+	return PlanFunc(func(op Op, k int) Decision {
+		if op.IsAppend() && k >= from && k <= to {
+			return Decision{Err: err}
+		}
+		return Decision{}
+	})
+}
+
+// FailSnapshots fails every snapshot with err (appends still work).
+func FailSnapshots(err error) Plan {
+	if err == nil {
+		err = ErrInjected
+	}
+	return PlanFunc(func(op Op, _ int) Decision {
+		if op == OpSnapshot {
+			return Decision{Err: err}
+		}
+		return Decision{}
+	})
+}
+
+// FlakyAppends fails each append independently with probability p, decided
+// by a stateless seeded hash of the ordinal — deterministic for a fixed
+// (seed, p) regardless of goroutine interleaving.
+func FlakyAppends(seed int64, p float64) Plan {
+	return PlanFunc(func(op Op, k int) Decision {
+		if op.IsAppend() && unitHash(seed, uint64(k)) < p {
+			return Decision{Err: ErrInjected}
+		}
+		return Decision{}
+	})
+}
+
+// WithLatency adds a fixed latency to every operation of the wrapped plan.
+func WithLatency(p Plan, d time.Duration) Plan {
+	return PlanFunc(func(op Op, n int) Decision {
+		dec := p.Decide(op, n)
+		dec.Latency += d
+		return dec
+	})
+}
+
+// unitHash maps (seed, n) to [0,1) via the splitmix64 finalizer: a
+// replayable per-ordinal coin without any shared RNG state.
+func unitHash(seed int64, n uint64) float64 {
+	z := uint64(seed) + n*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Sentinel errors reported by injected faults.
+var (
+	// ErrInjected is the default scripted failure.
+	ErrInjected = errors.New("faultstore: injected failure")
+	// ErrKilled is returned by every operation after a scripted kill: the
+	// simulated process is dead as far as persistence is concerned.
+	ErrKilled = errors.New("faultstore: process killed by plan")
+)
+
+// Injected counts the faults the wrapper actually delivered.
+type Injected struct {
+	Failures   uint64 // operations failed by plan (Err decisions)
+	Kills      uint64 // kill transitions (at most 1 per store)
+	AfterKill  uint64 // operations rejected because the store is killed
+	DelayedOps uint64 // operations that slept injected latency
+}
+
+// Store wraps an inner store.Store with a fault plan. Safe for concurrent
+// use; the plan can be swapped at runtime with SetPlan (healing a scripted
+// outage mid-test).
+type Store struct {
+	inner store.Store
+
+	mu sync.Mutex
+	//cplint:guardedby mu
+	plan Plan
+	//cplint:guardedby mu
+	appends int // append-class ops decided so far (shared ordinal sequence)
+	//cplint:guardedby mu
+	snapshots int // snapshot ops decided so far
+	//cplint:guardedby mu
+	killed bool
+	//cplint:guardedby mu
+	acks []Op // ops the inner store acknowledged, in commit order
+	//cplint:guardedby mu
+	inj Injected
+}
+
+// New wraps inner with the given plan (nil means Healthy).
+func New(inner store.Store, plan Plan) *Store {
+	if plan == nil {
+		plan = Healthy()
+	}
+	return &Store{inner: inner, plan: plan}
+}
+
+// SetPlan swaps the fault plan at runtime. Ordinals keep counting; a killed
+// store stays dead (reopen the real backend to simulate a restart).
+func (s *Store) SetPlan(p Plan) {
+	if p == nil {
+		p = Healthy()
+	}
+	s.mu.Lock()
+	s.plan = p
+	s.mu.Unlock()
+}
+
+// AckLog returns a copy of the acknowledged-operation log: every op the
+// inner store durably accepted, in order. This is the ground truth a
+// crash-recovery test compares the reloaded state against.
+func (s *Store) AckLog() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.acks...)
+}
+
+// InjectedStats returns the fault counters.
+func (s *Store) InjectedStats() Injected {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj
+}
+
+// Killed reports whether a scripted kill has fired.
+func (s *Store) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// decide runs one operation's plan consultation under the lock: bump the
+// per-class ordinal, ask the plan, and record kill/failure bookkeeping. A
+// non-nil error means the operation is rejected before reaching the inner
+// store.
+func (s *Store) decide(op Op) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		s.inj.AfterKill++
+		return Decision{}, ErrKilled
+	}
+	var n int
+	if op.IsAppend() {
+		s.appends++
+		n = s.appends
+	} else {
+		s.snapshots++
+		n = s.snapshots
+	}
+	dec := s.plan.Decide(op, n)
+	switch {
+	case dec.Kill:
+		s.killed = true
+		s.inj.Kills++
+		return dec, ErrKilled
+	case dec.Err != nil:
+		s.inj.Failures++
+		return dec, dec.Err
+	}
+	if dec.Latency > 0 {
+		s.inj.DelayedOps++
+	}
+	return dec, nil
+}
+
+// ack records a completed inner call's outcome under the lock.
+func (s *Store) ack(op Op, err error, killAfter bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.acks = append(s.acks, op)
+	}
+	if killAfter {
+		s.killed = true
+		s.inj.Kills++
+	}
+}
+
+// do runs one operation through the plan: decide under the lock, release it
+// across the injected sleep and the inner call (the inner store serializes
+// itself; holding our mutex across its I/O would also invert the snapshot
+// lock order), then re-lock to record the acknowledgement.
+func (s *Store) do(op Op, call func() error) error {
+	dec, err := s.decide(op)
+	if err != nil {
+		return err
+	}
+	if dec.Latency > 0 {
+		time.Sleep(dec.Latency)
+	}
+	err = call()
+	s.ack(op, err, dec.KillAfter)
+	return err
+}
+
+// AppendTruth implements store.TruthLog.
+func (s *Store) AppendTruth(r store.TruthRecord) error {
+	return s.do(OpTruth, func() error { return s.inner.AppendTruth(r) })
+}
+
+// AppendWorkerEvents implements store.WorkerLog.
+func (s *Store) AppendWorkerEvents(evs []store.WorkerEvent) error {
+	return s.do(OpWorkerEvents, func() error { return s.inner.AppendWorkerEvents(evs) })
+}
+
+// AppendTrips implements store.TrajLog.
+func (s *Store) AppendTrips(recs []store.TrajRecord) error {
+	return s.do(OpTrips, func() error { return s.inner.AppendTrips(recs) })
+}
+
+// AppendTaskOpen implements store.TaskLog.
+func (s *Store) AppendTaskOpen(r store.TaskRecord) error {
+	return s.do(OpTaskOpen, func() error { return s.inner.AppendTaskOpen(r) })
+}
+
+// AppendTaskDecision implements store.TaskLog.
+func (s *Store) AppendTaskDecision(id int64, index int, yes bool) error {
+	return s.do(OpTaskDecision, func() error { return s.inner.AppendTaskDecision(id, index, yes) })
+}
+
+// AppendTaskClose implements store.TaskLog.
+func (s *Store) AppendTaskClose(id int64) error {
+	return s.do(OpTaskClose, func() error { return s.inner.AppendTaskClose(id) })
+}
+
+// Snapshot implements store.Store. Scripted failures fire before the inner
+// snapshot runs; a killed store refuses outright.
+func (s *Store) Snapshot(capture func() *store.State) error {
+	return s.do(OpSnapshot, func() error { return s.inner.Snapshot(capture) })
+}
+
+// Load delegates to the inner store (load-time faults are modeled by
+// corrupting the backing files with TearTail/AppendGarbage instead — that
+// is where real crashes bite).
+func (s *Store) Load() (*store.State, error) { return s.inner.Load() }
+
+// Stats delegates to the inner store, so health endpoints report the real
+// backend under test.
+func (s *Store) Stats() store.Stats { return s.inner.Stats() }
+
+// Close delegates to the inner store even when killed: tests must be able
+// to release file handles before reopening the directory.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// VerifyWorld forwards to the inner store when it pins world fingerprints
+// (store.WorldVerifier); wrapping must not disable the mismatch check.
+func (s *Store) VerifyWorld(fingerprint uint64) error {
+	if v, ok := s.inner.(store.WorldVerifier); ok {
+		return v.VerifyWorld(fingerprint)
+	}
+	return nil
+}
+
+// TearTail truncates the last n bytes of a file — the shape of a torn write
+// at the WAL tail after a crash mid-append. Returns the bytes removed.
+func TearTail(path string, n int64) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if n > fi.Size() {
+		n = fi.Size()
+	}
+	if err := os.Truncate(path, fi.Size()-n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// AppendGarbage appends raw bytes to a file — the shape of a partially
+// written record whose length header landed but whose payload did not.
+func AppendGarbage(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
